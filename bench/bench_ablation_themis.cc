@@ -1,0 +1,137 @@
+// Ablations of Themis's design choices (DESIGN.md experiment index):
+//
+//  * NACK compensation on/off under genuine packet loss (Section 3.4):
+//    without compensation, a blocked NACK for a truly lost packet costs a
+//    full retransmission timeout.
+//  * PSN-queue capacity factor F (Section 4): undersized rings overflow and
+//    force fail-open forwards.
+//  * Truncated (1-byte) vs full PSN queue entries (Section 4).
+//  * Spray mode: ToR egress choice (2-tier) vs PathMap sport rewrite
+//    (multi-tier, Fig. 3).
+
+#include "bench/bench_common.h"
+
+namespace themis {
+namespace {
+
+using benchutil::MessageBytes;
+using benchutil::ResultRow;
+using benchutil::Rows;
+
+const std::vector<std::vector<int>> kRings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.num_tors = 2;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = Scheme::kThemis;
+  config.transport = TransportKind::kNicSr;
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 200 * kMicrosecond;
+  config.fabric_delay_skew = 200 * kNanosecond;
+  return config;
+}
+
+// Blackholes spine0's downlink to rack 1 for `window` starting at 30 us,
+// producing genuine loss that only compensation (or RTO) can repair.
+void InjectLoss(Experiment& exp, TimePs window) {
+  Switch* spine0 = exp.topology().switches[exp.topology().tors.size()];
+  exp.sim().Schedule(30 * kMicrosecond, [spine0] { spine0->port(1)->set_failed(true); });
+  exp.sim().Schedule(30 * kMicrosecond + window,
+                     [spine0] { spine0->port(1)->set_failed(false); });
+}
+
+void RunCase(benchmark::State& state, const std::string& label, ExperimentConfig config,
+             bool inject_loss) {
+  const uint64_t bytes = MessageBytes(8);
+  for (auto _ : state) {
+    Experiment exp(config);
+    if (inject_loss) {
+      InjectLoss(exp, 10 * kMicrosecond);
+    }
+    auto result =
+        exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
+    state.SetIterationTime(ToSeconds(result.tail_completion));
+    if (!result.all_done) {
+      state.SkipWithError("transfer did not finish");
+      return;
+    }
+    const ThemisDStats themis_stats =
+        exp.themis() != nullptr ? exp.themis()->AggregateDStats() : ThemisDStats{};
+    state.counters["timeouts"] = static_cast<double>(exp.TotalTimeouts());
+    state.counters["compensated"] = static_cast<double>(themis_stats.compensated_nacks);
+    state.counters["unmatched"] = static_cast<double>(themis_stats.nacks_forwarded_unmatched);
+
+    ResultRow row;
+    row.config = inject_loss ? "with-loss" : "lossless";
+    row.scheme = label;
+    row.completion_ms = ToMilliseconds(result.tail_completion);
+    row.rtx_ratio = exp.AggregateRetransmissionRatio();
+    row.nacks_to_sender = exp.TotalNacksReceived();
+    row.nacks_blocked = themis_stats.nacks_blocked;
+    row.drops = exp.TotalPortDrops();
+    Rows().push_back(row);
+  }
+}
+
+void Register(const std::string& name, ExperimentConfig config, bool inject_loss) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [name, config, inject_loss](benchmark::State& state) {
+                                 RunCase(state, name, config, inject_loss);
+                               })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace themis
+
+int main(int argc, char** argv) {
+  using namespace themis;
+
+  // Compensation on/off, with and without genuine loss.
+  {
+    ExperimentConfig with_comp = BaseConfig();
+    ExperimentConfig no_comp = BaseConfig();
+    no_comp.themis_compensation = false;
+    Register("Compensation/on/lossless", with_comp, /*inject_loss=*/false);
+    Register("Compensation/off/lossless", no_comp, /*inject_loss=*/false);
+    Register("Compensation/on/loss", with_comp, /*inject_loss=*/true);
+    Register("Compensation/off/loss", no_comp, /*inject_loss=*/true);
+  }
+
+  // PSN-queue expansion factor F.
+  for (double f : {0.25, 0.5, 1.0, 1.5, 3.0}) {
+    ExperimentConfig config = BaseConfig();
+    config.themis_queue_expansion = f;
+    Register("QueueFactor/F=" + FormatDouble(f, 2), config, /*inject_loss=*/false);
+  }
+
+  // Truncated vs full PSN-queue entries.
+  {
+    ExperimentConfig truncated = BaseConfig();
+    ExperimentConfig full = BaseConfig();
+    full.themis_truncate_queue_entries = false;
+    Register("QueueEncoding/truncated-1B", truncated, /*inject_loss=*/false);
+    Register("QueueEncoding/full-3B", full, /*inject_loss=*/false);
+  }
+
+  // Spray mode: 2-tier ToR egress vs multi-tier sport rewrite.
+  {
+    ExperimentConfig tor_egress = BaseConfig();
+    ExperimentConfig sport = BaseConfig();
+    sport.themis_spray_mode = SprayMode::kSportRewrite;
+    Register("SprayMode/tor-egress", tor_egress, /*inject_loss=*/false);
+    Register("SprayMode/sport-rewrite", sport, /*inject_loss=*/false);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  benchutil::PrintSummary("Themis design-choice ablations");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: reliable-transport generations under packet spraying
+// (Sections 1-2 claims).
+//
+//   go-back-n — previous-generation RNICs (CX-4/5): OOO packets dropped,
+//               catastrophic under spraying.
+//   nic-sr    — current commodity RNICs: OOO buffered but NACKs spurious.
+//   ideal     — OOO-tolerant oracle (upper bound).
+//   nic-sr + Themis — the paper's system: commodity NIC behaviour with
+//               in-network NACK filtering.
+
+#include "bench/bench_common.h"
+
+namespace themis {
+namespace {
+
+using benchutil::MessageBytes;
+using benchutil::ResultRow;
+using benchutil::Rows;
+
+const std::vector<std::vector<int>> kRings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
+
+ExperimentConfig Config(TransportKind transport, Scheme scheme) {
+  ExperimentConfig config;
+  config.num_tors = 2;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.transport = transport;
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 200 * kMicrosecond;
+  config.fabric_delay_skew = 200 * kNanosecond;
+  return config;
+}
+
+void RunCase(benchmark::State& state, TransportKind transport, Scheme scheme,
+             const char* label) {
+  const uint64_t bytes = MessageBytes(8);
+  for (auto _ : state) {
+    Experiment exp(Config(transport, scheme));
+    auto result =
+        exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
+    state.SetIterationTime(ToSeconds(result.tail_completion));
+    if (!result.all_done) {
+      state.SkipWithError("transfer did not finish");
+      return;
+    }
+    state.counters["rtx_ratio"] = exp.AggregateRetransmissionRatio();
+    ResultRow row;
+    row.config = "spraying-ring";
+    row.scheme = label;
+    row.completion_ms = ToMilliseconds(result.tail_completion);
+    row.rtx_ratio = exp.AggregateRetransmissionRatio();
+    row.nacks_to_sender = exp.TotalNacksReceived();
+    row.nacks_blocked =
+        exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
+    row.drops = exp.TotalPortDrops();
+    Rows().push_back(row);
+  }
+}
+
+}  // namespace
+}  // namespace themis
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  struct Case {
+    TransportKind transport;
+    Scheme scheme;
+    const char* label;
+  };
+  static constexpr Case kCases[] = {
+      {TransportKind::kGoBackN, Scheme::kRandomSpray, "go-back-n (CX-4/5)"},
+      {TransportKind::kNicSr, Scheme::kRandomSpray, "nic-sr (CX-6/7)"},
+      {TransportKind::kIrn, Scheme::kRandomSpray, "irn-style NIC"},
+      {TransportKind::kMultipath, Scheme::kRandomSpray, "multipath NIC (MPRDMA-like)"},
+      {TransportKind::kIdeal, Scheme::kRandomSpray, "ideal oracle"},
+      {TransportKind::kNicSr, Scheme::kThemis, "nic-sr + Themis"},
+      {TransportKind::kNicSr, Scheme::kFlowlet, "nic-sr + flowlet"},
+      {TransportKind::kNicSr, Scheme::kSprayReorder, "nic-sr + ToR reordering"},
+  };
+  for (const Case& c : kCases) {
+    benchmark::RegisterBenchmark((std::string("Transport/") + c.label).c_str(),
+                                 [c](benchmark::State& state) {
+                                   RunCase(state, c.transport, c.scheme, c.label);
+                                 })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  benchutil::PrintSummary("Transport-generation ablation under packet spraying");
+  return 0;
+}

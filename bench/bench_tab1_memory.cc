@@ -1,0 +1,103 @@
+// Table 1 / Section 4: Themis switch-memory overhead.
+//
+// Reproduces the paper's worked example — a k=32 three-layer fat-tree
+// (N_paths = 256, 16 NICs/ToR, 100 cross-rack QPs per RNIC, 400 Gbps last
+// hop, 2 us last-hop RTT, MTU 1500 B, expansion factor F = 1.5) needs
+// ~193 KB of ToR SRAM — and sweeps each parameter to show scaling. The
+// PathMap half of the estimate is cross-checked against an actually
+// constructed PathMap.
+
+#include <benchmark/benchmark.h>
+
+#include "src/stats/report.h"
+#include "src/themis/memory_model.h"
+#include "src/themis/path_map.h"
+
+namespace themis {
+namespace {
+
+void BM_Tab1MemoryModel(benchmark::State& state) {
+  for (auto _ : state) {
+    MemoryModelParams params;  // Table 1 reference values
+    MemoryModelResult result = EstimateThemisMemory(params);
+    benchmark::DoNotOptimize(result.total_bytes);
+    state.counters["total_kb"] = static_cast<double>(result.total_bytes) / 1000.0;
+    state.counters["per_qp_bytes"] = static_cast<double>(result.per_qp_bytes);
+    state.counters["sram_pct"] = result.sram_fraction * 100.0;
+  }
+}
+BENCHMARK(BM_Tab1MemoryModel);
+
+void BM_PathMapConstruction(benchmark::State& state) {
+  // Building the 256-path PathMap offline (the Fig. 3 precomputation).
+  const std::vector<EcmpStage> stages{EcmpStage{.shift = 0, .group_size = 16},
+                                      EcmpStage{.shift = 8, .group_size = 16}};
+  for (auto _ : state) {
+    auto map = PathMap::Build(stages);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_PathMapConstruction);
+
+void PrintTable1() {
+  std::printf("\n=== Table 1 / Section 4: Themis memory overhead ===\n");
+  Table table({"N_paths", "BW", "RTT_us", "N_NIC", "N_QP", "entries/QP", "M_QP(B)",
+               "M_total(KB)", "SRAM%"});
+
+  auto add_row = [&table](MemoryModelParams params) {
+    const MemoryModelResult r = EstimateThemisMemory(params);
+    table.AddRow({std::to_string(params.num_paths),
+                  FormatDouble(params.last_hop_bandwidth.gbps(), 0) + "G",
+                  FormatDouble(ToMicroseconds(params.last_hop_rtt), 1),
+                  std::to_string(params.nics_per_tor), std::to_string(params.qps_per_nic),
+                  std::to_string(r.queue_entries), std::to_string(r.per_qp_bytes),
+                  FormatDouble(static_cast<double>(r.total_bytes) / 1000.0, 1),
+                  FormatDouble(r.sram_fraction * 100.0, 2)});
+  };
+
+  MemoryModelParams reference;  // the paper's example -> ~193 KB
+  add_row(reference);
+
+  // Parameter sweeps (scaling behaviour).
+  for (uint32_t qps : {10u, 50u, 200u, 400u}) {
+    MemoryModelParams p = reference;
+    p.qps_per_nic = qps;
+    add_row(p);
+  }
+  for (int64_t gbps : {100, 200, 800}) {
+    MemoryModelParams p = reference;
+    p.last_hop_bandwidth = Rate::Gbps(gbps);
+    add_row(p);
+  }
+  for (uint32_t paths : {16u, 64u, 1024u}) {
+    MemoryModelParams p = reference;
+    p.num_paths = paths;
+    add_row(p);
+  }
+  table.Print();
+
+  const MemoryModelResult r = EstimateThemisMemory(reference);
+  std::printf("reference total: %llu bytes = %.1f KB (paper: ~193 KB); %.2f%% of a 64 MB "
+              "Tofino SRAM\n",
+              static_cast<unsigned long long>(r.total_bytes),
+              static_cast<double>(r.total_bytes) / 1000.0, r.sram_fraction * 100.0);
+
+  auto map = PathMap::Build({EcmpStage{.shift = 0, .group_size = 16},
+                             EcmpStage{.shift = 8, .group_size = 16}});
+  if (map.has_value()) {
+    std::printf("constructed 256-path PathMap: %llu bytes (model says %llu)\n\n",
+                static_cast<unsigned long long>(map->MemoryBytes()),
+                static_cast<unsigned long long>(r.path_map_bytes));
+  }
+}
+
+}  // namespace
+}  // namespace themis
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  themis::PrintTable1();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared driver for the Fig. 5 benchmarks (Allreduce / Alltoall tail
+// completion time under DCQCN parameter sweeps).
+//
+// Paper setup (Section 5): 16x16 leaf-spine, 1:1 subscription, 400 Gbps
+// links, 1 us delay, 64 MB switch buffers, 256 NICs in 16 groups of 16 (one
+// NIC per ToR per group), all groups start the same collective at once; the
+// metric is the slowest group's completion time. Schemes: ECMP, Adaptive
+// Routing, Themis. DCQCN (TI, TD) in {(900,4),(300,4),(10,4),(10,50),
+// (10,200)} microseconds.
+
+#ifndef THEMIS_BENCH_FIG5_COMMON_H_
+#define THEMIS_BENCH_FIG5_COMMON_H_
+
+#include "bench/bench_common.h"
+
+namespace themis {
+namespace benchutil {
+
+struct DcqcnPoint {
+  int64_t ti_us;
+  int64_t td_us;
+};
+
+inline constexpr DcqcnPoint kFig5Sweep[] = {
+    {900, 4}, {300, 4}, {10, 4}, {10, 50}, {10, 200},
+};
+
+inline constexpr Scheme kFig5Schemes[] = {Scheme::kEcmp, Scheme::kAdaptiveRouting,
+                                          Scheme::kThemis};
+
+inline ExperimentConfig Fig5Config(Scheme scheme, const DcqcnPoint& point) {
+  ExperimentConfig config;  // defaults are the paper's 16x16 @ 400G fabric
+  config.scheme = scheme;
+  config.dcqcn_ti = point.ti_us * kMicrosecond;
+  config.dcqcn_td = point.td_us * kMicrosecond;
+  return config;
+}
+
+inline void RunFig5Case(benchmark::State& state, CollectiveKind kind, Scheme scheme,
+                        const DcqcnPoint& point, uint64_t bytes) {
+  for (auto _ : state) {
+    Experiment exp(Fig5Config(scheme, point));
+    auto groups = exp.MakeCrossRackGroups(16);
+    auto result = exp.RunCollective(kind, groups, bytes, 60 * kSecond);
+
+    state.SetIterationTime(ToSeconds(result.tail_completion));
+    state.counters["sim_ms"] = ToMilliseconds(result.tail_completion);
+    state.counters["rtx_ratio"] = exp.AggregateRetransmissionRatio();
+    state.counters["nacks"] = static_cast<double>(exp.TotalNacksReceived());
+    if (!result.all_done) {
+      state.SkipWithError("collective did not finish before the deadline");
+      return;
+    }
+
+    ResultRow row;
+    row.config = "(TI=" + std::to_string(point.ti_us) + "us,TD=" + std::to_string(point.td_us) +
+                 "us)";
+    row.scheme = SchemeName(scheme);
+    row.completion_ms = ToMilliseconds(result.tail_completion);
+    row.rtx_ratio = exp.AggregateRetransmissionRatio();
+    row.nacks_to_sender = exp.TotalNacksReceived();
+    row.nacks_blocked =
+        exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
+    row.drops = exp.TotalPortDrops();
+    Rows().push_back(row);
+  }
+}
+
+// Registers the 15-case sweep for one collective and runs the suite.
+inline int Fig5Main(int argc, char** argv, CollectiveKind kind, const char* figure_name,
+                    uint64_t default_mib) {
+  const uint64_t bytes = MessageBytes(default_mib);
+  for (const DcqcnPoint& point : kFig5Sweep) {
+    for (Scheme scheme : kFig5Schemes) {
+      const std::string name = std::string(figure_name) + "/" + SchemeName(scheme) + "/TI=" +
+                               std::to_string(point.ti_us) + "us/TD=" +
+                               std::to_string(point.td_us) + "us";
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [kind, scheme, point, bytes](benchmark::State& state) {
+                                     RunFig5Case(state, kind, scheme, point, bytes);
+                                   })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintSummary(std::string(figure_name) + " — tail communication completion time (" +
+               std::to_string(bytes >> 20) + " MiB per collective; paper uses 300 MB)");
+  return 0;
+}
+
+}  // namespace benchutil
+}  // namespace themis
+
+#endif  // THEMIS_BENCH_FIG5_COMMON_H_

@@ -1,0 +1,79 @@
+// The Section 2 story, end to end: what happens when you turn on packet
+// spraying with commodity RNICs — and how Themis fixes it.
+//
+// Runs the paper's motivation workload (two cross-rack rings, Fig. 1a) four
+// ways and prints a comparison:
+//   1. ECMP            — no reordering, but elephant-flow collisions.
+//   2. spray + GBN     — previous-gen RNICs: OOO packets dropped outright.
+//   3. spray + NIC-SR  — current RNICs: spurious NACKs, slow starts.
+//   4. Themis          — PSN spraying + in-network NACK filtering.
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/stats/report.h"
+
+namespace {
+
+themis::ExperimentConfig BaseConfig() {
+  using namespace themis;
+  ExperimentConfig config;
+  config.num_tors = 2;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 200 * kMicrosecond;
+  config.fabric_delay_skew = 200 * kNanosecond;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace themis;
+
+  // Every ring hop crosses racks (hosts 0-3 are rack 0, 4-7 rack 1).
+  const std::vector<std::vector<int>> rings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
+  constexpr uint64_t kBytes = 8ull << 20;
+
+  struct Variant {
+    const char* label;
+    Scheme scheme;
+    TransportKind transport;
+  };
+  const Variant variants[] = {
+      {"ECMP + NIC-SR", Scheme::kEcmp, TransportKind::kNicSr},
+      {"spray + GBN (CX-4/5)", Scheme::kRandomSpray, TransportKind::kGoBackN},
+      {"spray + NIC-SR (CX-6/7)", Scheme::kRandomSpray, TransportKind::kNicSr},
+      {"Themis", Scheme::kThemis, TransportKind::kNicSr},
+  };
+
+  Table table({"variant", "completion_ms", "rtx_ratio", "nacks@sender", "nacks_blocked"});
+  for (const Variant& v : variants) {
+    ExperimentConfig config = BaseConfig();
+    config.scheme = v.scheme;
+    config.transport = v.transport;
+    Experiment exp(config);
+    auto result =
+        exp.RunCollective(CollectiveKind::kNeighborRing, rings, kBytes, 10 * kSecond);
+    table.AddRow({v.label,
+                  result.all_done ? FormatDouble(ToMilliseconds(result.tail_completion), 3)
+                                  : "DNF",
+                  FormatDouble(exp.AggregateRetransmissionRatio(), 4),
+                  std::to_string(exp.TotalNacksReceived()),
+                  std::to_string(exp.themis() != nullptr
+                                     ? exp.themis()->AggregateDStats().nacks_blocked
+                                     : 0)});
+  }
+
+  std::printf("Fig. 1a workload: two 4-node cross-rack rings, %llu MiB per hop, 100 Gbps\n\n",
+              static_cast<unsigned long long>(kBytes >> 20));
+  table.Print();
+  std::printf(
+      "\nReading guide: spraying with commodity NIC-SR generates NACKs without any loss\n"
+      "(spurious retransmissions + slow starts). Themis blocks the invalid NACKs at the\n"
+      "destination ToR, recovering near-ideal completion time.\n");
+  return 0;
+}

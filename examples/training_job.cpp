@@ -1,0 +1,62 @@
+// A data-parallel training job: iterations of compute + synchronized
+// gradient Allreduce, run under three load-balancing schemes. Shows the
+// metric a framework user feels — per-iteration time — and how Themis
+// removes communication jitter.
+
+#include <cstdio>
+
+#include "src/collective/training_job.h"
+#include "src/core/experiment.h"
+#include "src/stats/report.h"
+#include "src/stats/time_series.h"
+
+int main() {
+  using namespace themis;
+
+  Table table({"scheme", "iter_mean_ms", "iter_p_max_ms", "comm_mean_ms", "comm_max_ms"});
+
+  for (Scheme scheme : {Scheme::kEcmp, Scheme::kAdaptiveRouting, Scheme::kThemis}) {
+    ExperimentConfig config;
+    config.num_tors = 8;
+    config.num_spines = 8;
+    config.hosts_per_tor = 8;
+    config.link_rate = Rate::Gbps(100);
+    config.scheme = scheme;
+    config.cc = CcKind::kDcqcn;
+    config.dcqcn_ti = 55 * kMicrosecond;
+    config.dcqcn_td = 50 * kMicrosecond;
+    Experiment exp(config);
+
+    TrainingJob::Config job_config;
+    job_config.iterations = 8;
+    job_config.compute_time = 200 * kMicrosecond;
+    job_config.gradient_bytes = 16ull << 20;  // 16 MiB of gradients per group
+
+    TrainingJob job(&exp.sim(), &exp.connections(), exp.MakeCrossRackGroups(8), job_config);
+    job.Start(nullptr);
+    exp.sim().RunUntil(60 * kSecond);
+
+    if (!job.done()) {
+      table.AddRow({SchemeName(scheme), "DNF", "-", "-", "-"});
+      continue;
+    }
+    std::vector<double> iter_ms;
+    std::vector<double> comm_ms;
+    for (int i = 0; i < job.completed_iterations(); ++i) {
+      iter_ms.push_back(ToMilliseconds(job.iteration_times()[static_cast<size_t>(i)]));
+      comm_ms.push_back(ToMilliseconds(job.communication_times()[static_cast<size_t>(i)]));
+    }
+    const auto iter = ScalarSummary::Of(iter_ms);
+    const auto comm = ScalarSummary::Of(comm_ms);
+    table.AddRow({SchemeName(scheme), FormatDouble(iter.mean, 3), FormatDouble(iter.max, 3),
+                  FormatDouble(comm.mean, 3), FormatDouble(comm.max, 3)});
+  }
+
+  std::printf("8 iterations x (200 us compute + 16 MiB Allreduce), 64 ranks in 8 groups, "
+              "100 Gbps 8x8 fabric\n\n");
+  table.Print();
+  std::printf("\nCommunication time is what the LB scheme controls; iteration time is what the\n"
+              "user sees. Themis turns packet spraying loss-free for commodity NIC-SR RNICs,\n"
+              "cutting both the mean and the tail.\n");
+  return 0;
+}

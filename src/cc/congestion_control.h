@@ -1,0 +1,71 @@
+// Congestion-control interface for sender QPs.
+//
+// The RNIC consults `rate()` for hardware pacing. Signals delivered:
+// CNPs (DCQCN congestion notification), NACKs (which commodity RNICs treat
+// as congestion — the "unnecessary slow starts" of paper Section 2.2),
+// ACK-clocked byte progress, and retransmission timeouts.
+
+#ifndef THEMIS_SRC_CC_CONGESTION_CONTROL_H_
+#define THEMIS_SRC_CC_CONGESTION_CONTROL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/time.h"
+
+namespace themis {
+
+struct CcStats {
+  uint64_t rate_decreases = 0;
+  uint64_t nack_decreases = 0;
+  uint64_t cnp_received = 0;
+  uint64_t increase_events = 0;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual const char* name() const = 0;
+
+  // Current sending rate used for pacing.
+  virtual Rate rate() const = 0;
+
+  // A DCQCN CNP arrived for this flow.
+  virtual void OnCnp() = 0;
+  // A NACK arrived (commodity RNICs reduce rate on NACKs; Section 2.2).
+  virtual void OnNack() = 0;
+  // `bytes` newly acknowledged.
+  virtual void OnAck(uint64_t bytes) { (void)bytes; }
+  // `bytes` handed to the wire (drives DCQCN's byte-counter stage).
+  virtual void OnPacketSent(uint64_t bytes) { (void)bytes; }
+  // Retransmission timeout fired.
+  virtual void OnTimeout() {}
+  // Stops all internal timers (call before tearing down the simulation).
+  virtual void Shutdown() {}
+
+  const CcStats& stats() const { return stats_; }
+
+ protected:
+  CcStats stats_;
+};
+
+// Constant-rate pacing; used for the "ideal" transport baseline and for
+// isolating transport behaviour from CC dynamics in tests.
+class FixedRateCc : public CongestionControl {
+ public:
+  explicit FixedRateCc(Rate rate) : rate_(rate) {}
+
+  const char* name() const override { return "fixed"; }
+  Rate rate() const override { return rate_; }
+  void OnCnp() override { ++stats_.cnp_received; }
+  void OnNack() override {}
+  void set_rate(Rate rate) { rate_ = rate; }
+
+ private:
+  Rate rate_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_CC_CONGESTION_CONTROL_H_

@@ -1,0 +1,106 @@
+#include "src/cc/dcqcn.h"
+
+#include <algorithm>
+
+namespace themis {
+
+DcqcnCc::DcqcnCc(Simulator* sim, const DcqcnConfig& config)
+    : sim_(sim),
+      config_(config),
+      current_rate_(config.line_rate),
+      target_rate_(config.line_rate),
+      alpha_timer_(sim, [this] { OnAlphaTimer(); }),
+      increase_timer_(sim, [this] { IncreaseEvent(/*from_timer=*/true); }) {
+  alpha_timer_.Start(config_.alpha_update_interval);
+  increase_timer_.Start(config_.rate_increase_period);
+}
+
+DcqcnCc::~DcqcnCc() { Shutdown(); }
+
+void DcqcnCc::Shutdown() {
+  alpha_timer_.Cancel();
+  increase_timer_.Cancel();
+}
+
+bool DcqcnCc::TryDecrease() {
+  // alpha always tracks congestion, even when the cut itself is suppressed
+  // by TD: the NIC's alpha update is CNP-clocked.
+  cnp_seen_since_alpha_update_ = true;
+  if (last_decrease_time_ >= 0 &&
+      sim_->now() - last_decrease_time_ < config_.rate_decrease_interval) {
+    return false;
+  }
+  last_decrease_time_ = sim_->now();
+  target_rate_ = current_rate_;
+  current_rate_ = std::max(current_rate_ * (1.0 - alpha_ / 2.0), config_.min_rate);
+  alpha_ = (1.0 - config_.g) * alpha_ + config_.g;
+  // Reset the increase machinery.
+  timer_stage_ = 0;
+  byte_stage_ = 0;
+  hyper_rounds_ = 0;
+  bytes_since_stage_ = 0;
+  ++stats_.rate_decreases;
+  return true;
+}
+
+void DcqcnCc::OnCnp() {
+  ++stats_.cnp_received;
+  TryDecrease();
+}
+
+void DcqcnCc::OnNack() {
+  if (!config_.react_to_nack) {
+    return;
+  }
+  if (TryDecrease()) {
+    ++stats_.nack_decreases;
+  }
+}
+
+void DcqcnCc::OnTimeout() {
+  // A timeout is a strong congestion/loss signal; commodity NICs back off.
+  if (config_.react_to_nack) {
+    TryDecrease();
+  }
+}
+
+void DcqcnCc::OnPacketSent(uint64_t bytes) {
+  bytes_since_stage_ += bytes;
+  while (bytes_since_stage_ >= config_.byte_counter_bytes) {
+    bytes_since_stage_ -= config_.byte_counter_bytes;
+    ++byte_stage_;
+    IncreaseEvent(/*from_timer=*/false);
+  }
+}
+
+void DcqcnCc::IncreaseEvent(bool from_timer) {
+  if (from_timer) {
+    ++timer_stage_;
+  }
+  ++stats_.increase_events;
+
+  const int max_stage = std::max(timer_stage_, byte_stage_);
+  const int min_stage = std::min(timer_stage_, byte_stage_);
+  const int f = config_.fast_recovery_threshold;
+
+  if (min_stage > f) {
+    // Hyper increase.
+    ++hyper_rounds_;
+    target_rate_ = std::min(target_rate_ + config_.hyper_increase, config_.line_rate);
+  } else if (max_stage > f) {
+    // Additive increase.
+    target_rate_ = std::min(target_rate_ + config_.additive_increase, config_.line_rate);
+  }
+  // Fast recovery (and the blend step of AI/HAI): move halfway to target.
+  const int64_t blended = (target_rate_.bps() + current_rate_.bps()) / 2;
+  current_rate_ = std::min(Rate(blended), config_.line_rate);
+}
+
+void DcqcnCc::OnAlphaTimer() {
+  if (!cnp_seen_since_alpha_update_) {
+    alpha_ = (1.0 - config_.g) * alpha_;
+  }
+  cnp_seen_since_alpha_update_ = false;
+}
+
+}  // namespace themis

@@ -1,0 +1,41 @@
+#include "src/collective/alltoall.h"
+
+namespace themis {
+
+void Alltoall::Launch() {
+  const int n = static_cast<int>(ranks_.size());
+  states_.assign(static_cast<size_t>(n), RankState{});
+
+  if (n == 1) {
+    RankDone();
+    return;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    // Staggered peer order: i -> i+1, i+2, ..., i+n-1 (mod n).
+    for (int offset = 1; offset < n; ++offset) {
+      const int j = (i + offset) % n;
+      Channel& channel = connections_->GetChannel(ranks_[static_cast<size_t>(i)],
+                                                  ranks_[static_cast<size_t>(j)]);
+      channel.tx->PostMessage(per_peer_bytes(), [this, i] {
+        ++states_[static_cast<size_t>(i)].sends_completed;
+        CheckRankDone(i);
+      });
+      channel.rx->ExpectMessage(per_peer_bytes(), [this, j] {
+        ++states_[static_cast<size_t>(j)].recvs_delivered;
+        CheckRankDone(j);
+      });
+    }
+  }
+}
+
+void Alltoall::CheckRankDone(int rank_index) {
+  const int peers = static_cast<int>(ranks_.size()) - 1;
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  if (!state.done_reported && state.sends_completed == peers && state.recvs_delivered == peers) {
+    state.done_reported = true;
+    RankDone();
+  }
+}
+
+}  // namespace themis

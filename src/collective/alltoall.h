@@ -1,0 +1,44 @@
+// Pairwise Alltoall: every rank exchanges S/(n-1) bytes with every other
+// rank. Sends are posted in the standard staggered order (rank i sends to
+// i+1, i+2, ... mod n) but all at once — the per-QP NIC scheduler
+// interleaves them, producing the n*(n-1) simultaneous flows and last-hop
+// incast that make Alltoall the stress case of the paper's evaluation.
+
+#ifndef THEMIS_SRC_COLLECTIVE_ALLTOALL_H_
+#define THEMIS_SRC_COLLECTIVE_ALLTOALL_H_
+
+#include "src/collective/collective_op.h"
+
+namespace themis {
+
+class Alltoall : public CollectiveOp {
+ public:
+  Alltoall(Simulator* sim, ConnectionManager* connections, std::vector<int> ranks,
+           uint64_t total_bytes)
+      : CollectiveOp(sim, connections, std::move(ranks), total_bytes) {}
+
+  const char* name() const override { return "alltoall"; }
+
+  uint64_t per_peer_bytes() const {
+    const auto n = static_cast<uint64_t>(ranks_.size());
+    return n <= 1 ? 0 : (total_bytes_ + n - 2) / (n - 1);  // ceil(S / (n-1))
+  }
+
+ protected:
+  void Launch() override;
+
+ private:
+  struct RankState {
+    int sends_completed = 0;
+    int recvs_delivered = 0;
+    bool done_reported = false;
+  };
+
+  void CheckRankDone(int rank_index);
+
+  std::vector<RankState> states_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_ALLTOALL_H_

@@ -1,0 +1,86 @@
+#include "src/collective/broadcast.h"
+
+#include <algorithm>
+
+namespace themis {
+
+void BinomialBroadcast::Launch() {
+  const int n = static_cast<int>(ranks_.size());
+  states_.assign(static_cast<size_t>(n), RankState{});
+
+  if (n == 1) {
+    RankDone();
+    return;
+  }
+
+  // Binomial tree on rank indices: rank i receives from i - 2^k where 2^k is
+  // the lowest set bit... equivalently: i's parent is i with its highest set
+  // bit cleared; i forwards to i + 2^k for every 2^k > highest set bit of i
+  // while i + 2^k < n. Register the receive expectation for every non-root.
+  for (int i = 1; i < n; ++i) {
+    int highest_bit = 0;
+    for (int b = 0; (1 << b) <= i; ++b) {
+      if ((i >> b) & 1) {
+        highest_bit = b;
+      }
+    }
+    const int parent = i - (1 << highest_bit);
+    Channel& in = connections_->GetChannel(ranks_[static_cast<size_t>(parent)],
+                                           ranks_[static_cast<size_t>(i)]);
+    in.rx->ExpectMessage(total_bytes_, [this, i] {
+      states_[static_cast<size_t>(i)].has_data = true;
+      PostNextChild(i);
+      CheckRankDone(i);
+    });
+  }
+
+  // Precompute each rank's children: rank + 2^b for every 2^b strictly
+  // above the rank's highest set bit (all b for the root), while in range.
+  // Ascending b = largest subtree first (child i + 2^b roots the ranks
+  // whose extra bits are above b, and smaller b leaves more of them), so
+  // the longest forwarding chain starts earliest.
+  for (int i = 0; i < n; ++i) {
+    int start_bit = 0;
+    for (int b = 0; (1 << b) <= i; ++b) {
+      if ((i >> b) & 1) {
+        start_bit = b + 1;
+      }
+    }
+    std::vector<int>& children = states_[static_cast<size_t>(i)].children;
+    for (int b = start_bit; i + (1 << b) < n; ++b) {
+      children.push_back(i + (1 << b));
+    }
+  }
+
+  states_[0].has_data = true;
+  PostNextChild(0);
+  CheckRankDone(0);
+}
+
+void BinomialBroadcast::PostNextChild(int rank_index) {
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  if (state.next_child >= state.children.size()) {
+    return;
+  }
+  const int child = state.children[state.next_child++];
+  Channel& out = connections_->GetChannel(ranks_[static_cast<size_t>(rank_index)],
+                                          ranks_[static_cast<size_t>(child)]);
+  state.send_in_flight = true;
+  out.tx->PostMessage(total_bytes_, [this, rank_index] {
+    RankState& s = states_[static_cast<size_t>(rank_index)];
+    s.send_in_flight = false;
+    PostNextChild(rank_index);
+    CheckRankDone(rank_index);
+  });
+}
+
+void BinomialBroadcast::CheckRankDone(int rank_index) {
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  if (!state.done_reported && state.has_data && !state.send_in_flight &&
+      state.next_child >= state.children.size()) {
+    state.done_reported = true;
+    RankDone();
+  }
+}
+
+}  // namespace themis

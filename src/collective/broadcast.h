@@ -1,0 +1,43 @@
+// Binomial-tree Broadcast: the root's S bytes fan out in log2(n) rounds;
+// in round k every rank that already holds the data forwards it to the rank
+// 2^k positions away. Models parameter/weight broadcast at job start.
+
+#ifndef THEMIS_SRC_COLLECTIVE_BROADCAST_H_
+#define THEMIS_SRC_COLLECTIVE_BROADCAST_H_
+
+#include "src/collective/collective_op.h"
+
+namespace themis {
+
+class BinomialBroadcast : public CollectiveOp {
+ public:
+  // `ranks[0]` is the root.
+  BinomialBroadcast(Simulator* sim, ConnectionManager* connections, std::vector<int> ranks,
+                    uint64_t total_bytes)
+      : CollectiveOp(sim, connections, std::move(ranks), total_bytes) {}
+
+  const char* name() const override { return "binomial-broadcast"; }
+
+ protected:
+  void Launch() override;
+
+ private:
+  struct RankState {
+    bool has_data = false;
+    std::vector<int> children;  // forwarding targets, nearest-subtree first
+    size_t next_child = 0;
+    bool send_in_flight = false;
+    bool done_reported = false;
+  };
+
+  // Posts rank `i`'s next child send (children go out sequentially: a NIC
+  // has one port, and chaining keeps the deepest subtree moving first).
+  void PostNextChild(int rank_index);
+  void CheckRankDone(int rank_index);
+
+  std::vector<RankState> states_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_BROADCAST_H_

@@ -1,0 +1,111 @@
+// Base machinery for collective-communication operations.
+//
+// A CollectiveOp runs over one communication group (a list of ranks). Ranks
+// progress through dependency-ordered message posts on their channels; the
+// op completes when every rank has both sent and received everything. The
+// paper's metric is the completion time of the *slowest* group when many
+// groups run the same collective simultaneously (Section 5).
+
+#ifndef THEMIS_SRC_COLLECTIVE_COLLECTIVE_OP_H_
+#define THEMIS_SRC_COLLECTIVE_COLLECTIVE_OP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/collective/connections.h"
+#include "src/sim/simulator.h"
+
+namespace themis {
+
+class CollectiveOp {
+ public:
+  CollectiveOp(Simulator* sim, ConnectionManager* connections, std::vector<int> ranks,
+               uint64_t total_bytes)
+      : sim_(sim), connections_(connections), ranks_(std::move(ranks)), total_bytes_(total_bytes) {}
+  virtual ~CollectiveOp() = default;
+
+  CollectiveOp(const CollectiveOp&) = delete;
+  CollectiveOp& operator=(const CollectiveOp&) = delete;
+
+  virtual const char* name() const = 0;
+
+  void Start(std::function<void()> on_done) {
+    on_done_ = std::move(on_done);
+    start_time_ = sim_->now();
+    pending_ranks_ = static_cast<int>(ranks_.size());
+    Launch();
+  }
+
+  bool done() const { return done_; }
+  TimePs start_time() const { return start_time_; }
+  TimePs finish_time() const { return finish_time_; }
+  TimePs CompletionTime() const { return finish_time_ - start_time_; }
+  const std::vector<int>& ranks() const { return ranks_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ protected:
+  virtual void Launch() = 0;
+
+  // Called by subclasses when one rank finishes all of its work.
+  void RankDone() {
+    if (--pending_ranks_ == 0) {
+      done_ = true;
+      finish_time_ = sim_->now();
+      if (on_done_) {
+        on_done_();
+      }
+    }
+  }
+
+  Simulator* sim_;
+  ConnectionManager* connections_;
+  std::vector<int> ranks_;
+  uint64_t total_bytes_;
+
+ private:
+  std::function<void()> on_done_;
+  TimePs start_time_ = 0;
+  TimePs finish_time_ = 0;
+  int pending_ranks_ = 0;
+  bool done_ = false;
+};
+
+// Starts a set of collectives simultaneously, runs the simulator until all
+// complete (or `deadline` passes), and reports tail completion time.
+struct CollectiveRunResult {
+  bool all_done = false;
+  TimePs tail_completion = 0;  // slowest group's completion time
+  std::vector<TimePs> per_group;
+};
+
+inline CollectiveRunResult RunCollectives(Simulator& sim,
+                                          std::vector<std::unique_ptr<CollectiveOp>>& ops,
+                                          TimePs deadline = kTimeInfinity) {
+  int remaining = static_cast<int>(ops.size());
+  for (auto& op : ops) {
+    op->Start([&sim, &remaining] {
+      if (--remaining == 0) {
+        sim.Stop();
+      }
+    });
+  }
+  sim.RunUntil(deadline);
+
+  CollectiveRunResult result;
+  result.all_done = true;
+  for (auto& op : ops) {
+    if (!op->done()) {
+      result.all_done = false;
+      result.per_group.push_back(-1);
+      continue;
+    }
+    result.per_group.push_back(op->CompletionTime());
+    result.tail_completion = std::max(result.tail_completion, op->CompletionTime());
+  }
+  return result;
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_COLLECTIVE_OP_H_

@@ -1,0 +1,67 @@
+// Connection (QP pair) management for collective workloads.
+//
+// A Channel is a unidirectional RDMA connection: a SenderQp on the source
+// host paired with a ReceiverQp (same flow id) on the destination host.
+// Channels are created lazily, mirroring how NCCL-style collectives open QPs
+// only toward actual peers — the property that makes AI traffic low-entropy
+// (Section 2.1).
+
+#ifndef THEMIS_SRC_COLLECTIVE_CONNECTIONS_H_
+#define THEMIS_SRC_COLLECTIVE_CONNECTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/rnic/rnic_host.h"
+
+namespace themis {
+
+struct Channel {
+  SenderQp* tx = nullptr;
+  ReceiverQp* rx = nullptr;
+};
+
+class ConnectionManager {
+ public:
+  // `hosts[i]` is the RNIC of rank i. `base_config` supplies transport/CC
+  // settings; per-connection entropy (udp_sport) is derived from the flow id.
+  ConnectionManager(std::vector<RnicHost*> hosts, QpConfig base_config)
+      : hosts_(std::move(hosts)), base_config_(base_config) {}
+
+  // Returns (creating on first use) the channel rank `src` -> rank `dst`.
+  Channel& GetChannel(int src, int dst) {
+    auto key = std::make_pair(src, dst);
+    auto it = channels_.find(key);
+    if (it != channels_.end()) {
+      return it->second;
+    }
+    const uint32_t flow_id = next_flow_id_++;
+    QpConfig config = base_config_;
+    // RoCEv2 entropy source ports live in the ephemeral range; spread flows
+    // across it deterministically.
+    config.udp_sport = static_cast<uint16_t>(0xC000u | ((flow_id * 2654435761u) & 0x3FFFu));
+    Channel channel;
+    channel.tx = hosts_[static_cast<size_t>(src)]->CreateSenderQp(
+        flow_id, hosts_[static_cast<size_t>(dst)]->id(), config);
+    channel.rx = hosts_[static_cast<size_t>(dst)]->CreateReceiverQp(
+        flow_id, hosts_[static_cast<size_t>(src)]->id(), config);
+    return channels_.emplace(key, channel).first->second;
+  }
+
+  int rank_count() const { return static_cast<int>(hosts_.size()); }
+  RnicHost* host(int rank) { return hosts_[static_cast<size_t>(rank)]; }
+  const std::map<std::pair<int, int>, Channel>& channels() const { return channels_; }
+  uint32_t flows_created() const { return next_flow_id_ - 1; }
+
+ private:
+  std::vector<RnicHost*> hosts_;
+  QpConfig base_config_;
+  uint32_t next_flow_id_ = 1;
+  std::map<std::pair<int, int>, Channel> channels_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_CONNECTIONS_H_

@@ -1,0 +1,63 @@
+#include "src/collective/halving_doubling.h"
+
+#include <cassert>
+
+namespace themis {
+
+void HalvingDoublingAllreduce::Launch() {
+  const int n = static_cast<int>(ranks_.size());
+  assert((n & (n - 1)) == 0 && "halving-doubling requires power-of-two group size");
+  states_.assign(static_cast<size_t>(n), RankState{});
+
+  if (n == 1) {
+    RankDone();
+    return;
+  }
+
+  // Receive expectations must be registered in per-channel arrival order;
+  // each (rank, partner) channel carries at most one message per phase, and
+  // within a phase channels are distinct — so posting phase-order per rank
+  // is safe.
+  for (int i = 0; i < n; ++i) {
+    for (int step = 0; step < total_steps(); ++step) {
+      const int partner = StepPartner(i, step);
+      Channel& in = connections_->GetChannel(ranks_[static_cast<size_t>(partner)],
+                                             ranks_[static_cast<size_t>(i)]);
+      in.rx->ExpectMessage(StepBytes(step), [this, i] {
+        ++states_[static_cast<size_t>(i)].recvs_delivered;
+        OnProgress(i);
+      });
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    PostStep(i, 0);
+  }
+}
+
+void HalvingDoublingAllreduce::PostStep(int rank_index, int step) {
+  const int partner = StepPartner(rank_index, step);
+  Channel& out = connections_->GetChannel(ranks_[static_cast<size_t>(rank_index)],
+                                          ranks_[static_cast<size_t>(partner)]);
+  states_[static_cast<size_t>(rank_index)].next_step_to_post = step + 1;
+  out.tx->PostMessage(StepBytes(step), [this, rank_index] {
+    ++states_[static_cast<size_t>(rank_index)].sends_completed;
+    OnProgress(rank_index);
+  });
+}
+
+void HalvingDoublingAllreduce::OnProgress(int rank_index) {
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  // Step k+1 may start once step k's exchange completed in both directions
+  // (the reduction needs the partner's data; the buffer needs the send out).
+  const int completed_steps = std::min(state.sends_completed, state.recvs_delivered);
+  if (completed_steps >= state.next_step_to_post && state.next_step_to_post < total_steps()) {
+    PostStep(rank_index, state.next_step_to_post);
+  }
+  if (!state.done_reported && state.sends_completed == total_steps() &&
+      state.recvs_delivered == total_steps()) {
+    state.done_reported = true;
+    RankDone();
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,70 @@
+// Recursive halving-doubling Allreduce (the other classic MPI/NCCL
+// algorithm): a reduce-scatter phase of log2(n) exchanges with halving
+// message sizes, then an allgather phase mirroring it with doubling sizes.
+//
+// Traffic shape differs sharply from the ring: peers are at power-of-two
+// rank distances, so in the paper's cross-rack groups *every* step is an
+// all-pairs bisection exchange — an even harsher test of fabric load
+// balancing. Group size must be a power of two.
+
+#ifndef THEMIS_SRC_COLLECTIVE_HALVING_DOUBLING_H_
+#define THEMIS_SRC_COLLECTIVE_HALVING_DOUBLING_H_
+
+#include "src/collective/collective_op.h"
+
+namespace themis {
+
+class HalvingDoublingAllreduce : public CollectiveOp {
+ public:
+  HalvingDoublingAllreduce(Simulator* sim, ConnectionManager* connections,
+                           std::vector<int> ranks, uint64_t total_bytes)
+      : CollectiveOp(sim, connections, std::move(ranks), total_bytes) {}
+
+  const char* name() const override { return "hd-allreduce"; }
+
+  // log2(n) exchange rounds per phase, two phases.
+  int rounds_per_phase() const {
+    int rounds = 0;
+    for (size_t n = ranks_.size(); n > 1; n /= 2) {
+      ++rounds;
+    }
+    return rounds;
+  }
+  int total_steps() const { return 2 * rounds_per_phase(); }
+
+  // Bytes exchanged in a given step (0-based across both phases): the
+  // reduce-scatter phase halves S/2, S/4, ...; the allgather phase mirrors
+  // it back up.
+  uint64_t StepBytes(int step) const {
+    const int rounds = rounds_per_phase();
+    const int phase_step = step < rounds ? step : 2 * rounds - 1 - step;
+    return total_bytes_ >> (phase_step + 1);
+  }
+
+  // Exchange partner in a given step.
+  int StepPartner(int rank_index, int step) const {
+    const int rounds = rounds_per_phase();
+    const int phase_step = step < rounds ? step : 2 * rounds - 1 - step;
+    return rank_index ^ (1 << phase_step);
+  }
+
+ protected:
+  void Launch() override;
+
+ private:
+  struct RankState {
+    int sends_completed = 0;
+    int recvs_delivered = 0;
+    int next_step_to_post = 0;
+    bool done_reported = false;
+  };
+
+  void PostStep(int rank_index, int step);
+  void OnProgress(int rank_index);
+
+  std::vector<RankState> states_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_HALVING_DOUBLING_H_

@@ -1,0 +1,64 @@
+#include "src/collective/ring.h"
+
+namespace themis {
+
+void RingCollective::Launch() {
+  const int n = static_cast<int>(ranks_.size());
+  states_.assign(static_cast<size_t>(n), RankState{});
+
+  if (n == 1) {
+    // Degenerate single-rank group: nothing moves.
+    RankDone();
+    return;
+  }
+
+  // Register all receive expectations up front (they deliver in order on the
+  // predecessor channel), then kick off step 0 on every rank.
+  for (int i = 0; i < n; ++i) {
+    const int pred = (i + n - 1) % n;
+    Channel& in = connections_->GetChannel(ranks_[static_cast<size_t>(pred)],
+                                           ranks_[static_cast<size_t>(i)]);
+    for (int step = 0; step < steps(); ++step) {
+      in.rx->ExpectMessage(chunk_bytes(), [this, i, step] { OnRecvDelivered(i, step); });
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    PostSend(i, 0);
+  }
+}
+
+void RingCollective::PostSend(int rank_index, int step) {
+  (void)step;  // chunk identity does not change wire behaviour
+  const int n = static_cast<int>(ranks_.size());
+  const int succ = (rank_index + 1) % n;
+  Channel& out = connections_->GetChannel(ranks_[static_cast<size_t>(rank_index)],
+                                          ranks_[static_cast<size_t>(succ)]);
+  out.tx->PostMessage(chunk_bytes(), [this, rank_index] { OnSendComplete(rank_index); });
+}
+
+void RingCollective::OnSendComplete(int rank_index) {
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  ++state.sends_completed;
+  CheckRankDone(rank_index);
+}
+
+void RingCollective::OnRecvDelivered(int rank_index, int step) {
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  ++state.recvs_delivered;
+  // Receiving the step-k chunk enables sending the step-(k+1) chunk.
+  if (step + 1 < steps()) {
+    PostSend(rank_index, step + 1);
+  }
+  CheckRankDone(rank_index);
+}
+
+void RingCollective::CheckRankDone(int rank_index) {
+  RankState& state = states_[static_cast<size_t>(rank_index)];
+  if (!state.done_reported && state.sends_completed == steps() &&
+      state.recvs_delivered == steps()) {
+    state.done_reported = true;
+    RankDone();
+  }
+}
+
+}  // namespace themis

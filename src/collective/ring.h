@@ -1,0 +1,86 @@
+// Ring-pipeline collectives: Allreduce, AllGather, ReduceScatter.
+//
+// In a ring over n ranks each step moves one chunk of S/n bytes from every
+// rank to its successor. ReduceScatter and AllGather take n-1 steps;
+// Allreduce is their composition (2(n-1) steps). The data dependency is the
+// real one: a rank may post its step-(k+1) chunk only after receiving its
+// step-k chunk from its predecessor (it must reduce/forward that data).
+// This produces exactly the synchronized, few-flows, elephant-flow ring
+// traffic of the paper's motivation experiment.
+
+#ifndef THEMIS_SRC_COLLECTIVE_RING_H_
+#define THEMIS_SRC_COLLECTIVE_RING_H_
+
+#include "src/collective/collective_op.h"
+
+namespace themis {
+
+class RingCollective : public CollectiveOp {
+ public:
+  // kNeighborSend is the paper's motivation-experiment pattern (Fig. 1):
+  // every rank sends one S-byte message to its ring successor, with no step
+  // dependencies.
+  enum class Kind : uint8_t { kAllreduce, kAllGather, kReduceScatter, kNeighborSend };
+
+  RingCollective(Simulator* sim, ConnectionManager* connections, std::vector<int> ranks,
+                 uint64_t total_bytes, Kind kind)
+      : CollectiveOp(sim, connections, std::move(ranks), total_bytes), kind_(kind) {}
+
+  const char* name() const override {
+    switch (kind_) {
+      case Kind::kAllreduce:
+        return "ring-allreduce";
+      case Kind::kAllGather:
+        return "ring-allgather";
+      case Kind::kReduceScatter:
+        return "ring-reducescatter";
+      case Kind::kNeighborSend:
+        return "ring-neighbor-send";
+    }
+    return "?";
+  }
+
+  int steps() const {
+    const int n = static_cast<int>(ranks_.size());
+    switch (kind_) {
+      case Kind::kAllreduce:
+        return 2 * (n - 1);
+      case Kind::kAllGather:
+      case Kind::kReduceScatter:
+        return n - 1;
+      case Kind::kNeighborSend:
+        return 1;
+    }
+    return 0;
+  }
+
+  uint64_t chunk_bytes() const {
+    if (kind_ == Kind::kNeighborSend) {
+      return total_bytes_;
+    }
+    const auto n = static_cast<uint64_t>(ranks_.size());
+    return (total_bytes_ + n - 1) / n;  // ceil(S / n)
+  }
+
+ protected:
+  void Launch() override;
+
+ private:
+  struct RankState {
+    int sends_completed = 0;
+    int recvs_delivered = 0;
+    bool done_reported = false;
+  };
+
+  void PostSend(int rank_index, int step);
+  void OnSendComplete(int rank_index);
+  void OnRecvDelivered(int rank_index, int step);
+  void CheckRankDone(int rank_index);
+
+  Kind kind_;
+  std::vector<RankState> states_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_RING_H_

@@ -1,0 +1,99 @@
+// An iterative data-parallel training job: every iteration is a compute
+// phase (modeled as idle time) followed by a synchronized gradient
+// Allreduce across all communication groups. This reproduces the bursty,
+// synchronized traffic pattern Section 2.1 identifies as the reason ECMP
+// fails for AI workloads, and yields per-iteration times — the metric a
+// training framework actually experiences.
+
+#ifndef THEMIS_SRC_COLLECTIVE_TRAINING_JOB_H_
+#define THEMIS_SRC_COLLECTIVE_TRAINING_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/collective/ring.h"
+
+namespace themis {
+
+class TrainingJob {
+ public:
+  struct Config {
+    int iterations = 10;
+    TimePs compute_time = 200 * kMicrosecond;  // fwd+bwd pass between allreduces
+    uint64_t gradient_bytes = 32 << 20;
+  };
+
+  TrainingJob(Simulator* sim, ConnectionManager* connections,
+              std::vector<std::vector<int>> groups, const Config& config)
+      : sim_(sim), connections_(connections), groups_(std::move(groups)), config_(config) {}
+
+  TrainingJob(const TrainingJob&) = delete;
+  TrainingJob& operator=(const TrainingJob&) = delete;
+
+  void Start(std::function<void()> on_done) {
+    on_done_ = std::move(on_done);
+    BeginIteration();
+  }
+
+  bool done() const { return done_; }
+  int completed_iterations() const { return static_cast<int>(iteration_times_.size()); }
+  // Wall time of each full iteration (compute + communication).
+  const std::vector<TimePs>& iteration_times() const { return iteration_times_; }
+  // Communication-only time of each iteration (slowest group).
+  const std::vector<TimePs>& communication_times() const { return communication_times_; }
+
+ private:
+  void BeginIteration() {
+    iteration_start_ = sim_->now();
+    sim_->Schedule(config_.compute_time, [this] { LaunchAllreduce(); });
+  }
+
+  void LaunchAllreduce() {
+    communication_start_ = sim_->now();
+    ops_.clear();
+    pending_groups_ = static_cast<int>(groups_.size());
+    for (const std::vector<int>& group : groups_) {
+      ops_.push_back(std::make_unique<RingCollective>(sim_, connections_, group,
+                                                      config_.gradient_bytes,
+                                                      RingCollective::Kind::kAllreduce));
+    }
+    for (auto& op : ops_) {
+      op->Start([this] { OnGroupDone(); });
+    }
+  }
+
+  void OnGroupDone() {
+    if (--pending_groups_ > 0) {
+      return;
+    }
+    iteration_times_.push_back(sim_->now() - iteration_start_);
+    communication_times_.push_back(sim_->now() - communication_start_);
+    if (completed_iterations() >= config_.iterations) {
+      done_ = true;
+      if (on_done_) {
+        on_done_();
+      }
+      return;
+    }
+    BeginIteration();
+  }
+
+  Simulator* sim_;
+  ConnectionManager* connections_;
+  std::vector<std::vector<int>> groups_;
+  Config config_;
+
+  std::function<void()> on_done_;
+  std::vector<std::unique_ptr<CollectiveOp>> ops_;
+  int pending_groups_ = 0;
+  TimePs iteration_start_ = 0;
+  TimePs communication_start_ = 0;
+  std::vector<TimePs> iteration_times_;
+  std::vector<TimePs> communication_times_;
+  bool done_ = false;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_COLLECTIVE_TRAINING_JOB_H_

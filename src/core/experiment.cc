@@ -1,0 +1,316 @@
+#include "src/core/experiment.h"
+
+#include <cassert>
+
+namespace themis {
+
+Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(config.seed) {
+  network_ = std::make_unique<Network>(&sim_);
+
+  // Per-port queue: explicit override, or the switch's shared buffer split
+  // across its ports (a ToR has hosts_per_tor + num_spines ports).
+  int64_t port_queue = config.port_queue_bytes;
+  if (port_queue == 0) {
+    port_queue =
+        config.switch_buffer_bytes / (config.hosts_per_tor + config.num_spines);
+  }
+  config_.port_queue_bytes = port_queue;
+
+  // ECN thresholds scale with link speed (reference: 100/400 KB at 400G).
+  if (config_.ecn.kmin_bytes == 0) {
+    config_.ecn.kmin_bytes = std::max<int64_t>(
+        100 * 1024 * config.link_rate.bps() / Rate::Gbps(400).bps(), 4 * 1500);
+  }
+  if (config_.ecn.kmax_bytes == 0) {
+    config_.ecn.kmax_bytes = std::max<int64_t>(
+        400 * 1024 * config.link_rate.bps() / Rate::Gbps(400).bps(), 16 * 1500);
+  }
+
+  LeafSpineConfig topo_config;
+  topo_config.num_tors = config.num_tors;
+  topo_config.num_spines = config.num_spines;
+  topo_config.hosts_per_tor = config.hosts_per_tor;
+  topo_config.host_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
+  topo_config.fabric_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
+  topo_config.spine_delay_skew = config.fabric_delay_skew;
+  topo_config.ecn = config_.ecn;
+
+  topology_ = BuildLeafSpine(*network_, topo_config, [this](Network& net, int ordinal,
+                                                            const std::string& name) {
+    (void)ordinal;
+    RnicHost* host = net.MakeNode<RnicHost>(name);
+    hosts_.push_back(host);
+    return host;
+  });
+
+  // PFC: lossless data class, thresholds scaled with link speed.
+  PfcConfig pfc;
+  pfc.enabled = config.pfc_enabled;
+  const int64_t rate_scale_num = config.link_rate.bps();
+  const int64_t rate_scale_den = Rate::Gbps(400).bps();
+  pfc.xoff_bytes = config.pfc_xoff_bytes != 0
+                       ? config.pfc_xoff_bytes
+                       : std::max<int64_t>(150 * 1024 * rate_scale_num / rate_scale_den,
+                                           8 * config.mtu_bytes);
+  pfc.xon_bytes = config.pfc_xon_bytes != 0
+                      ? config.pfc_xon_bytes
+                      : std::max<int64_t>(100 * 1024 * rate_scale_num / rate_scale_den,
+                                          4 * config.mtu_bytes);
+  config_.pfc_xoff_bytes = pfc.xoff_bytes;
+  config_.pfc_xon_bytes = pfc.xon_bytes;
+  for (Switch* sw : topology_.switches) {
+    sw->ConfigurePfc(pfc);
+  }
+
+  // Load-balancing scheme.
+  switch (config.scheme) {
+    case Scheme::kEcmp:
+      InstallLoadBalancer(topology_, LbKind::kEcmp);
+      break;
+    case Scheme::kAdaptiveRouting:
+      InstallLoadBalancer(topology_, LbKind::kAdaptive);
+      break;
+    case Scheme::kRandomSpray:
+      InstallLoadBalancer(topology_, LbKind::kRandomSpray);
+      break;
+    case Scheme::kFlowlet: {
+      LbParams params;
+      params.flowlet_gap = config.flowlet_gap;
+      InstallLoadBalancer(topology_, LbKind::kFlowlet, params);
+      break;
+    }
+    case Scheme::kSprayReorder: {
+      InstallLoadBalancer(topology_, LbKind::kRandomSpray);
+      // Cross-rack predicate over the built topology.
+      std::unordered_map<int, const Switch*> host_tor;
+      for (size_t i = 0; i < topology_.hosts.size(); ++i) {
+        host_tor.emplace(topology_.hosts[i]->id(), topology_.host_tor[i]);
+      }
+      auto is_cross_rack = [host_tor](const Packet& pkt) {
+        auto src = host_tor.find(pkt.src_host);
+        auto dst = host_tor.find(pkt.dst_host);
+        return src != host_tor.end() && dst != host_tor.end() && src->second != dst->second;
+      };
+      for (Switch* tor : topology_.tors) {
+        auto hook =
+            std::make_unique<InNetworkReorderHook>(&sim_, config.reorder, is_cross_rack);
+        tor->AddHook(hook.get());
+        reorder_hooks_.push_back(std::move(hook));
+      }
+      break;
+    }
+    case Scheme::kThemis: {
+      ThemisDeploymentConfig themis_config;
+      themis_config.spray_mode = config.themis_spray_mode;
+      themis_config.themis_d.num_paths = static_cast<uint32_t>(config.num_spines);
+      themis_config.themis_d.compensation_enabled = config.themis_compensation;
+      themis_config.themis_d.truncate_entries = config.themis_truncate_queue_entries;
+      // Last-hop RTT: two propagation delays plus one MTU serialization on
+      // each direction of the ToR<->NIC hop (ACK/NACK are tiny).
+      const TimePs rtt_last = 2 * config.link_delay +
+                              config.link_rate.SerializationTime(config.mtu_bytes) +
+                              config.link_rate.SerializationTime(kControlPacketBytes);
+      themis_config.themis_d.queue_capacity = PsnQueueCapacity(
+          config.link_rate, rtt_last, config.themis_queue_expansion, config.mtu_bytes);
+      themis_ = ThemisDeployment::Install(topology_, themis_config);
+      break;
+    }
+  }
+
+  // Transport / CC defaults for every QP.
+  qp_config_.transport = config.transport;
+  qp_config_.cc = config.cc;
+  qp_config_.mtu_bytes = config.mtu_bytes;
+  qp_config_.retransmit_timeout = config.retransmit_timeout;
+  qp_config_.dcqcn.line_rate = config.link_rate;
+  qp_config_.dcqcn.rate_increase_period = config.dcqcn_ti;
+  qp_config_.dcqcn.rate_decrease_interval = config.dcqcn_td;
+  qp_config_.fixed_rate = config.fixed_rate.IsZero() ? config.link_rate : config.fixed_rate;
+
+  connections_ = std::make_unique<ConnectionManager>(hosts_, qp_config_);
+}
+
+std::vector<std::vector<int>> Experiment::MakeCrossRackGroups(int num_groups) const {
+  assert(num_groups <= config_.hosts_per_tor);
+  std::vector<std::vector<int>> groups;
+  groups.reserve(static_cast<size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<size_t>(config_.num_tors));
+    for (int t = 0; t < config_.num_tors; ++t) {
+      ranks.push_back(t * config_.hosts_per_tor + g);
+    }
+    groups.push_back(std::move(ranks));
+  }
+  return groups;
+}
+
+std::vector<std::unique_ptr<CollectiveOp>> Experiment::MakeCollectives(
+    CollectiveKind kind, const std::vector<std::vector<int>>& groups, uint64_t bytes) {
+  std::vector<std::unique_ptr<CollectiveOp>> ops;
+  ops.reserve(groups.size());
+  for (const std::vector<int>& group : groups) {
+    switch (kind) {
+      case CollectiveKind::kAllreduce:
+        ops.push_back(std::make_unique<RingCollective>(&sim_, connections_.get(), group, bytes,
+                                                       RingCollective::Kind::kAllreduce));
+        break;
+      case CollectiveKind::kAllGather:
+        ops.push_back(std::make_unique<RingCollective>(&sim_, connections_.get(), group, bytes,
+                                                       RingCollective::Kind::kAllGather));
+        break;
+      case CollectiveKind::kReduceScatter:
+        ops.push_back(std::make_unique<RingCollective>(&sim_, connections_.get(), group, bytes,
+                                                       RingCollective::Kind::kReduceScatter));
+        break;
+      case CollectiveKind::kNeighborRing:
+        ops.push_back(std::make_unique<RingCollective>(&sim_, connections_.get(), group, bytes,
+                                                       RingCollective::Kind::kNeighborSend));
+        break;
+      case CollectiveKind::kAlltoall:
+        ops.push_back(std::make_unique<Alltoall>(&sim_, connections_.get(), group, bytes));
+        break;
+      case CollectiveKind::kHalvingDoublingAllreduce:
+        ops.push_back(
+            std::make_unique<HalvingDoublingAllreduce>(&sim_, connections_.get(), group, bytes));
+        break;
+      case CollectiveKind::kBroadcast:
+        ops.push_back(
+            std::make_unique<BinomialBroadcast>(&sim_, connections_.get(), group, bytes));
+        break;
+    }
+  }
+  return ops;
+}
+
+CollectiveRunResult Experiment::RunCollective(CollectiveKind kind,
+                                              const std::vector<std::vector<int>>& groups,
+                                              uint64_t bytes, TimePs deadline) {
+  auto ops = MakeCollectives(kind, groups, bytes);
+  return RunCollectives(sim_, ops, deadline);
+}
+
+double Experiment::AggregateRetransmissionRatio() const {
+  const uint64_t total = TotalDataBytesSent();
+  return total == 0 ? 0.0
+                    : static_cast<double>(TotalRtxBytes()) / static_cast<double>(total);
+}
+
+uint64_t Experiment::TotalDataBytesSent() const {
+  uint64_t total = 0;
+  for (const RnicHost* host : hosts_) {
+    for (const SenderQp* qp : host->sender_qps()) {
+      total += qp->stats().data_bytes_sent;
+    }
+  }
+  return total;
+}
+
+uint64_t Experiment::TotalRtxBytes() const {
+  uint64_t total = 0;
+  for (const RnicHost* host : hosts_) {
+    for (const SenderQp* qp : host->sender_qps()) {
+      total += qp->stats().rtx_bytes;
+    }
+  }
+  return total;
+}
+
+uint64_t Experiment::TotalNacksReceived() const {
+  uint64_t total = 0;
+  for (const RnicHost* host : hosts_) {
+    for (const SenderQp* qp : host->sender_qps()) {
+      total += qp->stats().nacks_received;
+    }
+  }
+  return total;
+}
+
+uint64_t Experiment::TotalTimeouts() const {
+  uint64_t total = 0;
+  for (const RnicHost* host : hosts_) {
+    for (const SenderQp* qp : host->sender_qps()) {
+      total += qp->stats().timeouts;
+    }
+  }
+  return total;
+}
+
+ReorderHookStats Experiment::ReorderStats() const {
+  ReorderHookStats total;
+  for (const auto& hook : reorder_hooks_) {
+    const ReorderHookStats& s = hook->stats();
+    total.packets_held += s.packets_held;
+    total.packets_released_in_order += s.packets_released_in_order;
+    total.timeout_flushes += s.timeout_flushes;
+    total.overflow_flushes += s.overflow_flushes;
+    total.max_buffered_bytes = std::max(total.max_buffered_bytes, s.max_buffered_bytes);
+    total.max_total_buffered_bytes =
+        std::max(total.max_total_buffered_bytes, s.max_total_buffered_bytes);
+  }
+  return total;
+}
+
+std::vector<double> Experiment::FlowCompletionTimesMs() const {
+  std::vector<double> times;
+  for (const RnicHost* host : hosts_) {
+    for (const SenderQp* qp : host->sender_qps()) {
+      const SenderQpStats& s = qp->stats();
+      if (s.first_post_time >= 0 && s.last_completion_time > s.first_post_time) {
+        times.push_back(ToMilliseconds(s.last_completion_time - s.first_post_time));
+      }
+    }
+  }
+  return times;
+}
+
+std::vector<uint64_t> Experiment::SpineDataBytes() const {
+  std::vector<uint64_t> bytes;
+  for (const Switch* sw : topology_.switches) {
+    if (sw->name().rfind("spine", 0) != 0) {
+      continue;
+    }
+    uint64_t total = 0;
+    for (int p = 0; p < sw->port_count(); ++p) {
+      total += sw->port(p)->stats().tx_data_bytes;
+    }
+    bytes.push_back(total);
+  }
+  return bytes;
+}
+
+double Experiment::SprayBalanceIndex() const {
+  const std::vector<uint64_t> loads = SpineDataBytes();
+  if (loads.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (uint64_t load : loads) {
+    sum += static_cast<double>(load);
+    sum_sq += static_cast<double>(load) * static_cast<double>(load);
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+uint64_t Experiment::TotalPfcPauses() const {
+  uint64_t total = 0;
+  for (const Switch* sw : topology_.switches) {
+    total += sw->stats().pfc_pauses_sent;
+  }
+  return total;
+}
+
+uint64_t Experiment::TotalPortDrops() const {
+  uint64_t total = 0;
+  for (const DuplexLink& link : network_->links()) {
+    total += link.a.node->port(link.a.port)->stats().drops;
+    total += link.b.node->port(link.b.port)->stats().drops;
+  }
+  return total;
+}
+
+}  // namespace themis

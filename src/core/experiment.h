@@ -1,0 +1,177 @@
+// The public facade: one object that assembles a full experiment — fabric,
+// RNICs, load-balancing scheme, congestion control, Themis — and runs
+// collective workloads on it. Examples and benchmarks talk to this API.
+//
+//   ExperimentConfig cfg;
+//   cfg.scheme = Scheme::kThemis;
+//   Experiment exp(cfg);
+//   auto result = exp.RunCollective(CollectiveKind::kAllreduce,
+//                                   exp.MakeCrossRackGroups(16), 300_MB);
+
+#ifndef THEMIS_SRC_CORE_EXPERIMENT_H_
+#define THEMIS_SRC_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/collective/alltoall.h"
+#include "src/collective/broadcast.h"
+#include "src/collective/connections.h"
+#include "src/collective/halving_doubling.h"
+#include "src/collective/ring.h"
+#include "src/themis/deployment.h"
+#include "src/themis/reorder_buffer.h"
+#include "src/topo/leaf_spine.h"
+
+namespace themis {
+
+// The load-balancing scheme under evaluation (Fig. 5 compares the first
+// three; the others are extra baselines this repo provides).
+enum class Scheme : uint8_t {
+  kEcmp = 0,             // flow-level ECMP
+  kAdaptiveRouting = 1,  // per-packet least-queue + commodity NIC-SR
+  kThemis = 2,           // PSN spraying + NACK filtering (this paper)
+  kRandomSpray = 3,      // naive RPS + commodity NIC-SR (Fig. 1 motivation)
+  kFlowlet = 4,          // flowlet switching
+  kSprayReorder = 5,     // RPS + in-network reordering at the dst ToR
+                         // (ConWeave-style baseline, Section 2.3)
+};
+
+constexpr const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kEcmp:
+      return "ECMP";
+    case Scheme::kAdaptiveRouting:
+      return "AdaptiveRouting";
+    case Scheme::kThemis:
+      return "Themis";
+    case Scheme::kRandomSpray:
+      return "RandomSpray";
+    case Scheme::kFlowlet:
+      return "Flowlet";
+    case Scheme::kSprayReorder:
+      return "SprayReorder";
+  }
+  return "?";
+}
+
+enum class CollectiveKind : uint8_t {
+  kAllreduce = 0,  // ring
+  kAlltoall = 1,
+  kAllGather = 2,
+  kReduceScatter = 3,
+  kNeighborRing = 4,           // Fig. 1 motivation pattern
+  kHalvingDoublingAllreduce = 5,  // recursive halving-doubling
+  kBroadcast = 6,              // binomial tree from ranks[0]
+};
+
+struct ExperimentConfig {
+  uint64_t seed = 1;
+
+  // --- Fabric (defaults: the Fig. 5 16x16 leaf-spine at 400 Gbps) ---------
+  int num_tors = 16;
+  int num_spines = 16;
+  int hosts_per_tor = 16;
+  Rate link_rate = Rate::Gbps(400);
+  TimePs link_delay = 1 * kMicrosecond;
+  // Per-spine extra propagation delay (spine s adds s * skew): multi-path
+  // delay variation. 0 = perfectly symmetric fabric.
+  TimePs fabric_delay_skew = 0;
+  // Paper setup: each switch has a 64 MB (shared) buffer. Per-port capacity
+  // is derived as switch_buffer_bytes / ports-per-ToR unless
+  // port_queue_bytes is set explicitly (non-zero).
+  int64_t switch_buffer_bytes = 64 * 1024 * 1024;
+  int64_t port_queue_bytes = 0;
+  // WRED/ECN marking profile. kmin/kmax of 0 = auto: the DCQCN reference
+  // thresholds (100 KB / 400 KB at 400 Gbps) scaled linearly with link rate.
+  EcnProfile ecn{.kmin_bytes = 0, .kmax_bytes = 0, .pmax = 0.2, .enabled = true};
+  // PFC (lossless RoCE fabric). Thresholds of 0 = auto: 150/100 KB at
+  // 400 Gbps, scaled linearly with link rate.
+  bool pfc_enabled = true;
+  int64_t pfc_xoff_bytes = 0;
+  int64_t pfc_xon_bytes = 0;
+
+  // --- Scheme --------------------------------------------------------------
+  Scheme scheme = Scheme::kThemis;
+  SprayMode themis_spray_mode = SprayMode::kTorEgress;
+  bool themis_compensation = true;
+  bool themis_truncate_queue_entries = true;
+  double themis_queue_expansion = 1.5;  // F of Section 4
+  TimePs flowlet_gap = 50 * kMicrosecond;
+  ReorderHookConfig reorder;  // kSprayReorder baseline knobs
+
+  // --- Transport & CC ------------------------------------------------------
+  TransportKind transport = TransportKind::kNicSr;
+  CcKind cc = CcKind::kDcqcn;
+  TimePs dcqcn_ti = 900 * kMicrosecond;  // rate increase timer TI
+  TimePs dcqcn_td = 4 * kMicrosecond;    // rate decrease interval TD
+  Rate fixed_rate = Rate();              // 0 -> line rate (kFixedRate only)
+  uint32_t mtu_bytes = 1500;
+  TimePs retransmit_timeout = 100 * kMicrosecond;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  // --- Building blocks -----------------------------------------------------
+  Simulator& sim() { return sim_; }
+  Network& network() { return *network_; }
+  Topology& topology() { return topology_; }
+  ConnectionManager& connections() { return *connections_; }
+  RnicHost* host(int ordinal) { return hosts_[static_cast<size_t>(ordinal)]; }
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  ThemisDeployment* themis() { return themis_.get(); }  // null unless kThemis
+  // Aggregate reorder-buffer stats (kSprayReorder only; zeros otherwise).
+  ReorderHookStats ReorderStats() const;
+  const ExperimentConfig& config() const { return config_; }
+  const QpConfig& qp_config() const { return qp_config_; }
+
+  // --- Workload helpers ----------------------------------------------------
+  // Paper Section 5 grouping: group g contains the g-th host of every ToR,
+  // so every group spans all racks and all its traffic crosses the fabric.
+  std::vector<std::vector<int>> MakeCrossRackGroups(int num_groups) const;
+
+  // Creates (unstarted) collective ops, one per group.
+  std::vector<std::unique_ptr<CollectiveOp>> MakeCollectives(
+      CollectiveKind kind, const std::vector<std::vector<int>>& groups, uint64_t bytes);
+
+  // Starts all groups simultaneously and runs to completion (or deadline).
+  CollectiveRunResult RunCollective(CollectiveKind kind,
+                                    const std::vector<std::vector<int>>& groups,
+                                    uint64_t bytes, TimePs deadline = kTimeInfinity);
+
+  // --- Aggregated metrics --------------------------------------------------
+  // Across all sender QPs: retransmitted wire bytes / sent wire bytes.
+  double AggregateRetransmissionRatio() const;
+  uint64_t TotalDataBytesSent() const;
+  uint64_t TotalRtxBytes() const;
+  uint64_t TotalNacksReceived() const;
+  uint64_t TotalTimeouts() const;
+  uint64_t TotalPortDrops() const;
+  uint64_t TotalPfcPauses() const;
+
+  // Per-flow completion times (first post -> last completion), milliseconds,
+  // for every sender QP that carried traffic.
+  std::vector<double> FlowCompletionTimesMs() const;
+  // Data bytes forwarded by each spine switch — the fabric-core load split.
+  std::vector<uint64_t> SpineDataBytes() const;
+  // Jain's fairness index over the spine load split: 1.0 = perfectly
+  // balanced core (ideal spraying), 1/num_spines = everything on one spine.
+  double SprayBalanceIndex() const;
+
+ private:
+  ExperimentConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Network> network_;
+  Topology topology_;
+  std::vector<RnicHost*> hosts_;
+  QpConfig qp_config_;
+  std::unique_ptr<ConnectionManager> connections_;
+  std::unique_ptr<ThemisDeployment> themis_;
+  std::vector<std::unique_ptr<InNetworkReorderHook>> reorder_hooks_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_CORE_EXPERIMENT_H_

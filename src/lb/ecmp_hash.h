@@ -1,0 +1,123 @@
+// ECMP hashing with GF(2) linearity.
+//
+// Production switch ASICs hash the 5-tuple with CRC-family functions. A CRC
+// with zero init and zero xor-out is linear over GF(2):
+//     crc(a ^ b) == crc(a) ^ crc(b)      (equal-length messages)
+// The ATC'21 "Hashing Linearity" result the paper builds on (Fig. 3) uses
+// exactly this property: flipping bits of the UDP source port shifts the
+// hash by a precomputable delta, so an offline PathMap of sport rewrites can
+// steer a packet to any equal-cost path. We implement CRC-32 (poly
+// 0x04C11DB7, reflected) with init=0/xorout=0 and expose both the full
+// 5-tuple hash and the sport-delta hash used by Themis-S.
+
+#ifndef THEMIS_SRC_LB_ECMP_HASH_H_
+#define THEMIS_SRC_LB_ECMP_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/net/packet.h"
+
+namespace themis {
+
+class Crc32 {
+ public:
+  // Updates a running CRC (linear variant: initial crc must be 0 for the
+  // linearity property to hold across whole messages).
+  static uint32_t Update(uint32_t crc, const uint8_t* data, size_t len) {
+    const auto& table = Table();
+    for (size_t i = 0; i < len; ++i) {
+      crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    }
+    return crc;
+  }
+
+  static uint32_t Hash(const uint8_t* data, size_t len) { return Update(0, data, len); }
+
+ private:
+  static const std::array<uint32_t, 256>& Table() {
+    static const std::array<uint32_t, 256> table = [] {
+      std::array<uint32_t, 256> t{};
+      constexpr uint32_t kPolyReflected = 0xEDB88320u;  // 0x04C11DB7 reflected
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+          c = (c & 1) ? (kPolyReflected ^ (c >> 1)) : (c >> 1);
+        }
+        t[i] = c;
+      }
+      return t;
+    }();
+    return table;
+  }
+};
+
+// The fixed-layout "5-tuple" the fabric hashes. Host ids stand in for IP
+// addresses and the flow id for the destination QP/UDP port; `sport` is the
+// RoCEv2 UDP source port, the only field middleboxes may rewrite.
+struct EcmpTuple {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint16_t sport = 0;
+  uint32_t dport = 0;
+
+  std::array<uint8_t, 14> Serialize() const {
+    std::array<uint8_t, 14> bytes{};
+    auto put32 = [&bytes](size_t off, uint32_t v) {
+      bytes[off] = static_cast<uint8_t>(v);
+      bytes[off + 1] = static_cast<uint8_t>(v >> 8);
+      bytes[off + 2] = static_cast<uint8_t>(v >> 16);
+      bytes[off + 3] = static_cast<uint8_t>(v >> 24);
+    };
+    put32(0, src);
+    put32(4, dst);
+    bytes[8] = static_cast<uint8_t>(sport);
+    bytes[9] = static_cast<uint8_t>(sport >> 8);
+    put32(10, dport);
+    return bytes;
+  }
+};
+
+// Full ECMP hash of a tuple.
+inline uint32_t EcmpHash(const EcmpTuple& tuple) {
+  const auto bytes = tuple.Serialize();
+  return Crc32::Hash(bytes.data(), bytes.size());
+}
+
+// Hash contribution of XOR-ing `sport_delta` into the sport field:
+//   EcmpHash(tuple with sport^delta) == EcmpHash(tuple) ^ SportDeltaHash(delta)
+// This is the linearity Themis-S's PathMap relies on.
+inline uint32_t SportDeltaHash(uint16_t sport_delta) {
+  EcmpTuple zero;
+  zero.sport = sport_delta;
+  return EcmpHash(zero);
+}
+
+inline EcmpTuple TupleFromPacket(const Packet& pkt) {
+  EcmpTuple tuple;
+  // Control packets must hash like their flow (reverse direction), but their
+  // own path is irrelevant; we hash the packet's literal header fields.
+  tuple.src = static_cast<uint32_t>(pkt.src_host);
+  tuple.dst = static_cast<uint32_t>(pkt.dst_host);
+  tuple.sport = pkt.udp_sport;
+  tuple.dport = pkt.flow_id;
+  return tuple;
+}
+
+// Bucket selection. For power-of-two group sizes switches use a mask, which
+// preserves GF(2) linearity bucket-wise; otherwise a modulo (linearity then
+// holds only at the hash level, which PathMap construction accounts for by
+// searching deltas per target bucket).
+inline uint32_t EcmpBucket(uint32_t hash, uint32_t group_size) {
+  if (group_size == 0) {
+    return 0;
+  }
+  if ((group_size & (group_size - 1)) == 0) {
+    return hash & (group_size - 1);
+  }
+  return hash % group_size;
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_LB_ECMP_HASH_H_

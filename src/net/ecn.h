@@ -1,0 +1,38 @@
+// WRED-style ECN marking profile used by DCQCN-capable switches.
+//
+// Below kmin bytes queued: never mark. Above kmax: always mark. In between:
+// mark with probability rising linearly to pmax. These are the knobs the
+// DCQCN paper exposes; defaults follow common 100/400 Gbps deployments.
+
+#ifndef THEMIS_SRC_NET_ECN_H_
+#define THEMIS_SRC_NET_ECN_H_
+
+#include <cstdint>
+
+#include "src/sim/random.h"
+
+namespace themis {
+
+struct EcnProfile {
+  int64_t kmin_bytes = 100 * 1024;   // start of marking ramp
+  int64_t kmax_bytes = 400 * 1024;   // end of marking ramp
+  double pmax = 0.2;                 // marking probability at kmax
+  bool enabled = true;
+
+  // Decides whether a packet enqueued behind `queued_bytes` gets CE-marked.
+  bool ShouldMark(int64_t queued_bytes, Rng& rng) const {
+    if (!enabled || queued_bytes < kmin_bytes) {
+      return false;
+    }
+    if (queued_bytes >= kmax_bytes) {
+      return true;
+    }
+    const double span = static_cast<double>(kmax_bytes - kmin_bytes);
+    const double p = pmax * static_cast<double>(queued_bytes - kmin_bytes) / span;
+    return rng.Chance(p);
+  }
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_NET_ECN_H_

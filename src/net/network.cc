@@ -1,0 +1,17 @@
+#include "src/net/network.h"
+
+namespace themis {
+
+DuplexLink Network::Connect(Node* a, Node* b, const LinkSpec& spec) {
+  const int port_a = a->AddPort();
+  const int port_b = b->AddPort();
+  a->port(port_a)->ConnectTo(b, port_b, spec.rate, spec.propagation_delay,
+                             spec.queue_capacity_bytes);
+  b->port(port_b)->ConnectTo(a, port_a, spec.rate, spec.propagation_delay,
+                             spec.queue_capacity_bytes);
+  DuplexLink link{{a, port_a}, {b, port_b}};
+  links_.push_back(link);
+  return link;
+}
+
+}  // namespace themis

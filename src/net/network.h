@@ -1,0 +1,79 @@
+// Ownership and wiring of the network graph.
+//
+// A Network owns all nodes; Connect() creates a full-duplex link (two
+// directional ports) between two nodes. Topology builders (src/topo) use
+// this to assemble leaf-spine and fat-tree fabrics.
+
+#ifndef THEMIS_SRC_NET_NETWORK_H_
+#define THEMIS_SRC_NET_NETWORK_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/net/node.h"
+#include "src/net/port.h"
+#include "src/sim/simulator.h"
+
+namespace themis {
+
+// Physical parameters of one full-duplex link.
+struct LinkSpec {
+  Rate rate = Rate::Gbps(100);
+  TimePs propagation_delay = 1 * kMicrosecond;
+  int64_t queue_capacity_bytes = 2 * 1024 * 1024;  // per egress port
+};
+
+// One directional half of a link, identified by (node, port index).
+struct LinkEnd {
+  Node* node = nullptr;
+  int port = -1;
+};
+
+// A full-duplex link as created by Network::Connect.
+struct DuplexLink {
+  LinkEnd a;  // port on node A towards node B
+  LinkEnd b;  // port on node B towards node A
+};
+
+class Network {
+ public:
+  explicit Network(Simulator* sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Takes ownership of `node`; returns the raw pointer for wiring. The node
+  // id must equal its index in the network (builders guarantee this by
+  // creating nodes through the network's id counter).
+  template <typename NodeT, typename... Args>
+  NodeT* MakeNode(Args&&... args) {
+    auto node = std::make_unique<NodeT>(sim_, NextId(), std::forward<Args>(args)...);
+    NodeT* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  // Creates a full-duplex link between `a` and `b` with identical physical
+  // parameters in both directions.
+  DuplexLink Connect(Node* a, Node* b, const LinkSpec& spec);
+
+  Node* node(int id) { return nodes_[static_cast<size_t>(id)].get(); }
+  const Node* node(int id) const { return nodes_[static_cast<size_t>(id)].get(); }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  const std::vector<DuplexLink>& links() const { return links_; }
+  Simulator* sim() const { return sim_; }
+
+  // Next node id to be assigned (== current node count).
+  int NextId() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<DuplexLink> links_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_NET_NETWORK_H_

@@ -1,0 +1,15 @@
+#include "src/net/node.h"
+
+#include "src/net/port.h"
+
+namespace themis {
+
+Node::~Node() = default;
+
+int Node::AddPort() {
+  const int index = static_cast<int>(ports_.size());
+  ports_.push_back(std::make_unique<Port>(sim_, this, index));
+  return index;
+}
+
+}  // namespace themis

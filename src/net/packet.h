@@ -1,0 +1,114 @@
+// The on-wire packet model.
+//
+// Packets are small value types; the simulator copies them freely and never
+// heap-allocates per packet. The header fields mirror the parts of a RoCEv2
+// frame (IP/UDP/BTH) that the paper's mechanisms read or write: the UDP
+// source port (ECMP entropy, rewritten by Themis-S), the 24-bit PSN, and the
+// ECN codepoint.
+
+#ifndef THEMIS_SRC_NET_PACKET_H_
+#define THEMIS_SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/psn.h"
+#include "src/sim/time.h"
+
+namespace themis {
+
+enum class PacketType : uint8_t {
+  kData = 0,  // RoCEv2 data segment (BTH + payload)
+  kAck = 1,   // positive acknowledgement, cumulative up to `psn`
+  kNack = 2,  // negative acknowledgement requesting retransmit of `psn` (the ePSN)
+  kCnp = 3,   // DCQCN congestion notification packet
+};
+
+constexpr const char* PacketTypeName(PacketType type) {
+  switch (type) {
+    case PacketType::kData:
+      return "DATA";
+    case PacketType::kAck:
+      return "ACK";
+    case PacketType::kNack:
+      return "NACK";
+    case PacketType::kCnp:
+      return "CNP";
+  }
+  return "?";
+}
+
+// Fixed overheads, matching a RoCEv2 frame: Eth(14+4) + IP(20) + UDP(8) +
+// BTH(12) + ICRC(4) = 62, rounded to 64 for inter-frame accounting.
+inline constexpr uint32_t kHeaderBytes = 64;
+inline constexpr uint32_t kControlPacketBytes = 64;
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  bool ecn_ce = false;          // congestion-experienced mark
+  bool retransmission = false;  // set by the sender on retransmits (stats only)
+  uint16_t udp_sport = 0;       // entropy field hashed by ECMP
+
+  uint32_t flow_id = 0;  // globally unique QP/flow id (one per direction)
+  uint32_t psn = 0;      // DATA: this segment's PSN. ACK: cumulative "all < psn
+                         // received". NACK: the receiver's ePSN.
+  uint32_t aux_psn = 0;  // transport extensions: IRN NACKs carry the PSN of
+                         // the OOO packet that triggered them; multipath
+                         // transport ACKs carry a selective-ack PSN.
+                         // Commodity NIC-SR does NOT have this field
+                         // (Section 2.2) — that is the gap Themis fills.
+  int32_t src_host = -1;
+  int32_t dst_host = -1;
+
+  uint32_t payload_bytes = 0;  // application payload carried (DATA only)
+  uint32_t wire_bytes = kControlPacketBytes;  // total serialized size
+
+  // Simulation-only metadata (never "on the wire"): the ingress port this
+  // packet occupies buffer credit for at its current switch; used by the
+  // PFC accounting. -1 = host-originated / untracked.
+  int32_t sim_ingress = -1;
+
+  bool IsControl() const { return type != PacketType::kData; }
+
+  std::string ToString() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s flow=%u psn=%u %d->%d %uB%s%s", PacketTypeName(type),
+                  flow_id, psn, src_host, dst_host, wire_bytes, ecn_ce ? " CE" : "",
+                  retransmission ? " RTX" : "");
+    return buf;
+  }
+};
+
+// Builds a DATA packet for `payload` bytes plus headers.
+inline Packet MakeDataPacket(uint32_t flow_id, int32_t src, int32_t dst, uint32_t psn,
+                             uint32_t payload, uint16_t sport) {
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.flow_id = flow_id;
+  pkt.src_host = src;
+  pkt.dst_host = dst;
+  pkt.psn = psn & kPsnMask;
+  pkt.payload_bytes = payload;
+  pkt.wire_bytes = payload + kHeaderBytes;
+  pkt.udp_sport = sport;
+  return pkt;
+}
+
+// Builds a control packet (ACK/NACK/CNP) flowing dst -> src of the data flow.
+inline Packet MakeControlPacket(PacketType type, uint32_t flow_id, int32_t src, int32_t dst,
+                                uint32_t psn, uint16_t sport) {
+  Packet pkt;
+  pkt.type = type;
+  pkt.flow_id = flow_id;
+  pkt.src_host = src;
+  pkt.dst_host = dst;
+  pkt.psn = psn & kPsnMask;
+  pkt.payload_bytes = 0;
+  pkt.wire_bytes = kControlPacketBytes;
+  pkt.udp_sport = sport;
+  return pkt;
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_NET_PACKET_H_

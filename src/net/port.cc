@@ -1,0 +1,88 @@
+#include "src/net/port.h"
+
+namespace themis {
+
+bool Port::Send(Packet pkt) {
+  if (failed_) {
+    ++stats_.drops;
+    stats_.drop_bytes += pkt.wire_bytes;
+    return false;
+  }
+  if (pkt.IsControl()) {
+    control_queue_.push_back(pkt);
+  } else {
+    if (queued_data_bytes_ + pkt.wire_bytes > data_queue_capacity_) {
+      ++stats_.drops;
+      stats_.drop_bytes += pkt.wire_bytes;
+      return false;
+    }
+    if (ecn_.ShouldMark(queued_data_bytes_, sim_->rng())) {
+      pkt.ecn_ce = true;
+      ++stats_.ecn_marks;
+    }
+    queued_data_bytes_ += pkt.wire_bytes;
+    if (queued_data_bytes_ > stats_.max_queue_bytes) {
+      stats_.max_queue_bytes = queued_data_bytes_;
+    }
+    data_queue_.push_back(pkt);
+  }
+  if (!busy_) {
+    StartNextTransmission();
+  }
+  return true;
+}
+
+void Port::SetPaused(bool paused) {
+  if (paused && !paused_) {
+    ++stats_.pause_transitions;
+  }
+  paused_ = paused;
+  if (!paused_ && !busy_) {
+    StartNextTransmission();
+  }
+}
+
+void Port::StartNextTransmission() {
+  Packet pkt;
+  if (!control_queue_.empty()) {
+    pkt = control_queue_.front();
+    control_queue_.pop_front();
+  } else if (!data_queue_.empty() && !paused_) {
+    pkt = data_queue_.front();
+    data_queue_.pop_front();
+    queued_data_bytes_ -= pkt.wire_bytes;
+    owner_->OnDataPacketDequeued(pkt);
+  } else {
+    busy_ = false;
+    return;
+  }
+
+  busy_ = true;
+  ++stats_.tx_packets;
+  stats_.tx_bytes += pkt.wire_bytes;
+  if (!pkt.IsControl()) {
+    stats_.tx_data_bytes += pkt.wire_bytes;
+  }
+
+  const TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
+
+  // Wire frees up after serialization completes.
+  sim_->Schedule(serialization, [this] { StartNextTransmission(); });
+
+  // Peer sees the packet after serialization + propagation, unless the link
+  // failed while the packet was in flight. Per-link arrivals are FIFO, so
+  // the event needs no payload.
+  in_flight_.push_back(pkt);
+  sim_->Schedule(serialization + propagation_delay_, [this] { DeliverHeadInFlight(); });
+}
+
+void Port::DeliverHeadInFlight() {
+  const Packet pkt = in_flight_.front();
+  in_flight_.pop_front();
+  if (failed_) {
+    return;
+  }
+  peer_->ReceivePacket(pkt, peer_port_);
+}
+
+}  // namespace themis

@@ -1,0 +1,115 @@
+// An egress port: the transmit side of one directional link.
+//
+// Each port owns a finite drop-tail data queue plus a strict-priority
+// control queue (ACK/NACK/CNP are tiny and ride the high-priority traffic
+// class, as in production RoCE deployments). Serialization and propagation
+// are modeled store-and-forward: a packet becomes visible at the peer
+// serialization-time + propagation-delay after transmission starts.
+
+#ifndef THEMIS_SRC_NET_PORT_H_
+#define THEMIS_SRC_NET_PORT_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/net/ecn.h"
+#include "src/net/node.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace themis {
+
+struct PortStats {
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t tx_data_bytes = 0;
+  uint64_t drops = 0;
+  uint64_t drop_bytes = 0;
+  uint64_t ecn_marks = 0;
+  uint64_t pause_transitions = 0;  // PFC pause assertions received
+  int64_t max_queue_bytes = 0;
+};
+
+class Port {
+ public:
+  Port(Simulator* sim, Node* owner, int index)
+      : sim_(sim), owner_(owner), index_(index) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Wires this port to `peer`'s ingress `peer_port`. Must be called exactly
+  // once before any Send().
+  void ConnectTo(Node* peer, int peer_port, Rate rate, TimePs propagation_delay,
+                 int64_t data_queue_capacity_bytes) {
+    peer_ = peer;
+    peer_port_ = peer_port;
+    rate_ = rate;
+    propagation_delay_ = propagation_delay;
+    data_queue_capacity_ = data_queue_capacity_bytes;
+  }
+
+  // Enqueues a packet for transmission. Data packets exceeding the queue
+  // capacity are dropped (drop-tail); control packets are never dropped.
+  // Returns false if the packet was dropped (caller may use this for
+  // buffer accounting).
+  bool Send(Packet pkt);
+
+  // Administratively fails/restores the link; a failed port blackholes all
+  // traffic handed to it (used by the Section 6 failure-tolerance path).
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+  // PFC pause state for the data traffic class. While paused the port keeps
+  // serving the (lossless-priority) control queue but holds data packets.
+  void SetPaused(bool paused);
+  bool paused() const { return paused_; }
+
+  int64_t queued_data_bytes() const { return queued_data_bytes_; }
+  int64_t data_queue_capacity() const { return data_queue_capacity_; }
+  bool connected() const { return peer_ != nullptr; }
+  Node* peer() const { return peer_; }
+  int peer_port() const { return peer_port_; }
+  Rate rate() const { return rate_; }
+  TimePs propagation_delay() const { return propagation_delay_; }
+  int index() const { return index_; }
+  Node* owner() const { return owner_; }
+
+  EcnProfile& ecn() { return ecn_; }
+  const EcnProfile& ecn() const { return ecn_; }
+
+  const PortStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PortStats{}; }
+
+ private:
+  void StartNextTransmission();
+  void DeliverHeadInFlight();
+
+  Simulator* sim_;
+  Node* owner_;
+  int index_;
+
+  Node* peer_ = nullptr;
+  int peer_port_ = -1;
+  Rate rate_;
+  TimePs propagation_delay_ = 0;
+  int64_t data_queue_capacity_ = 0;
+
+  bool busy_ = false;
+  bool failed_ = false;
+  bool paused_ = false;
+  std::deque<Packet> control_queue_;
+  std::deque<Packet> data_queue_;
+  // Packets serialized onto the wire but not yet delivered. Arrival events
+  // capture no packet payload (cheap, allocation-free std::function); the
+  // FIFO is valid because per-link arrival times are monotone.
+  std::deque<Packet> in_flight_;
+  int64_t queued_data_bytes_ = 0;
+
+  EcnProfile ecn_{.enabled = false};
+  PortStats stats_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_NET_PORT_H_

@@ -1,0 +1,45 @@
+// 24-bit packet sequence number (PSN) arithmetic.
+//
+// RoCEv2 BTH carries a 24-bit PSN; both NIC-SR and Themis-D must compare and
+// advance PSNs correctly across wraparound. We use RFC 1982-style serial
+// number arithmetic over the 24-bit space: a is "before" b when the signed
+// 24-bit distance b - a is positive.
+
+#ifndef THEMIS_SRC_NET_PSN_H_
+#define THEMIS_SRC_NET_PSN_H_
+
+#include <cstdint>
+
+namespace themis {
+
+inline constexpr uint32_t kPsnBits = 24;
+inline constexpr uint32_t kPsnSpace = 1u << kPsnBits;  // 16'777'216
+inline constexpr uint32_t kPsnMask = kPsnSpace - 1;
+inline constexpr uint32_t kPsnHalf = kPsnSpace / 2;
+
+// Wraps an arbitrary value into the 24-bit PSN space.
+constexpr uint32_t PsnWrap(uint64_t value) { return static_cast<uint32_t>(value) & kPsnMask; }
+
+// PSN addition with wraparound; `delta` may be negative.
+constexpr uint32_t PsnAdd(uint32_t psn, int64_t delta) {
+  return static_cast<uint32_t>((static_cast<int64_t>(psn) + delta) & kPsnMask);
+}
+
+// Signed serial distance a - b in [-2^23, 2^23).
+constexpr int32_t PsnDiff(uint32_t a, uint32_t b) {
+  uint32_t d = (a - b) & kPsnMask;
+  if (d >= kPsnHalf) {
+    return static_cast<int32_t>(d) - static_cast<int32_t>(kPsnSpace);
+  }
+  return static_cast<int32_t>(d);
+}
+
+// Serial-number comparisons. PsnLt(a, b) means a is strictly older than b.
+constexpr bool PsnLt(uint32_t a, uint32_t b) { return PsnDiff(a, b) < 0; }
+constexpr bool PsnLe(uint32_t a, uint32_t b) { return PsnDiff(a, b) <= 0; }
+constexpr bool PsnGt(uint32_t a, uint32_t b) { return PsnDiff(a, b) > 0; }
+constexpr bool PsnGe(uint32_t a, uint32_t b) { return PsnDiff(a, b) >= 0; }
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_NET_PSN_H_

@@ -1,0 +1,83 @@
+// Queue-pair configuration shared by sender and receiver sides.
+//
+// `TransportKind` selects the reliable-transport generation the paper
+// contrasts (plus two research designs from its related work, Section 2.3):
+//   kGoBackN    — previous-generation RNICs (CX-4/5): receiver drops OOO
+//                 packets, sender goes back to the NACKed PSN.
+//   kNicSr      — current-generation RNICs (CX-6/7/BF3): OOO reception into
+//                 a bitmap, selective retransmit, but *one NACK per ePSN*
+//                 and a NACK is blindly treated as loss + congestion
+//                 (Section 2.2).
+//   kIdeal      — oracle used for Fig. 1d: tolerates spray-induced OOO
+//                 without ever NACKing; timeout-only loss recovery.
+//   kIrn        — IRN-style (Mittal et al., SIGCOMM'18): NACKs carry the
+//                 triggering OOO PSN too, the sender retransmits the exact
+//                 gap and does NOT treat NACKs as congestion. Still assumes
+//                 a single path, so spraying makes its gap inference
+//                 spurious — an instructive contrast to Themis.
+//   kMultipath  — MPRDMA/STrack-flavoured OOO-tolerant transport: per-packet
+//                 selective ACKs, loss inferred from SACK reordering depth
+//                 (no NACKs at all). What a redesigned NIC could do — the
+//                 alternative Themis exists to avoid requiring.
+
+#ifndef THEMIS_SRC_RNIC_QP_CONFIG_H_
+#define THEMIS_SRC_RNIC_QP_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/cc/dcqcn.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace themis {
+
+enum class TransportKind : uint8_t {
+  kNicSr = 0,
+  kGoBackN = 1,
+  kIdeal = 2,
+  kIrn = 3,
+  kMultipath = 4,
+};
+
+constexpr const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kNicSr:
+      return "nic-sr";
+    case TransportKind::kGoBackN:
+      return "go-back-n";
+    case TransportKind::kIdeal:
+      return "ideal";
+    case TransportKind::kIrn:
+      return "irn";
+    case TransportKind::kMultipath:
+      return "multipath";
+  }
+  return "?";
+}
+
+enum class CcKind : uint8_t { kDcqcn = 0, kFixedRate = 1 };
+
+struct QpConfig {
+  TransportKind transport = TransportKind::kNicSr;
+  CcKind cc = CcKind::kDcqcn;
+  DcqcnConfig dcqcn;
+  Rate fixed_rate = Rate::Gbps(100);  // used when cc == kFixedRate
+
+  uint32_t mtu_bytes = 1500;  // on-wire MTU (payload = mtu - kHeaderBytes)
+  uint16_t udp_sport = 0;     // RoCEv2 entropy source port for this QP
+
+  TimePs retransmit_timeout = 500 * kMicrosecond;
+  TimePs cnp_interval = 50 * kMicrosecond;  // min gap between CNPs (receiver)
+  int64_t max_unacked_bytes = 16 * 1024 * 1024;  // sender in-flight cap
+
+  // kMultipath: how many packets sent *after* an unacked head must be
+  // selectively acknowledged before the head is declared lost (the SACK
+  // reordering-depth threshold; must exceed the fabric's reordering degree).
+  uint32_t multipath_reorder_threshold = 128;
+
+  uint32_t PayloadPerPacket() const { return mtu_bytes - kHeaderBytes; }
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_RNIC_QP_CONFIG_H_

@@ -1,0 +1,190 @@
+#include "src/rnic/receiver_qp.h"
+
+#include "src/rnic/rnic_host.h"
+
+namespace themis {
+
+ReceiverQp::ReceiverQp(RnicHost* host, uint32_t flow_id, int src_host, const QpConfig& config)
+    : host_(host), flow_id_(flow_id), src_host_(src_host), config_(config) {}
+
+void ReceiverQp::HandleData(const Packet& pkt) {
+  ++stats_.data_packets;
+  if (pkt.ecn_ce) {
+    ++stats_.ce_marked;
+    MaybeSendCnp();
+  }
+
+  const int32_t delta = PsnDiff(pkt.psn, epsn_);
+  if (delta == 0) {
+    // The expected packet: advance ePSN past everything contiguously held.
+    AcceptInOrder(pkt.payload_bytes);
+    const uint32_t arrived_psn = pkt.psn;
+    epsn_ = PsnAdd(epsn_, 1);
+    nacked_current_epsn_ = false;
+    for (auto it = ooo_received_.find(epsn_); it != ooo_received_.end();
+         it = ooo_received_.find(epsn_)) {
+      AcceptInOrder(it->second);
+      ooo_received_.erase(it);
+      epsn_ = PsnAdd(epsn_, 1);
+    }
+    if (config_.transport == TransportKind::kMultipath) {
+      SendSack(arrived_psn);
+    } else {
+      SendAck();
+    }
+    DeliverReadyMessages();
+    return;
+  }
+
+  if (delta > 0) {
+    // Out-of-order arrival.
+    ++stats_.ooo_arrivals;
+    switch (config_.transport) {
+      case TransportKind::kGoBackN:
+        // Previous-generation RNICs drop OOO packets entirely and NAK the
+        // expected PSN (once per ePSN).
+        ++stats_.dropped_ooo;
+        if (!nacked_current_epsn_) {
+          SendNack();
+          nacked_current_epsn_ = true;
+        }
+        return;
+      case TransportKind::kNicSr: {
+        auto [it, inserted] = ooo_received_.emplace(pkt.psn, pkt.payload_bytes);
+        (void)it;
+        if (!inserted) {
+          // Spurious retransmission of a packet already sitting in the
+          // bitmap: pure waste.
+          ++stats_.duplicates;
+          stats_.duplicate_bytes += pkt.wire_bytes;
+          SendAck();
+          return;
+        }
+        // Blind loss assumption: NACK the ePSN — but at most once per ePSN.
+        if (!nacked_current_epsn_) {
+          SendNack();
+          nacked_current_epsn_ = true;
+        }
+        return;
+      }
+      case TransportKind::kIdeal: {
+        auto [it, inserted] = ooo_received_.emplace(pkt.psn, pkt.payload_bytes);
+        (void)it;
+        if (!inserted) {
+          ++stats_.duplicates;
+          stats_.duplicate_bytes += pkt.wire_bytes;
+        }
+        // The oracle never mistakes reordering for loss; it just keeps the
+        // cumulative ACK clock running.
+        SendAck();
+        return;
+      }
+      case TransportKind::kIrn: {
+        auto [it, inserted] = ooo_received_.emplace(pkt.psn, pkt.payload_bytes);
+        (void)it;
+        if (!inserted) {
+          ++stats_.duplicates;
+          stats_.duplicate_bytes += pkt.wire_bytes;
+          SendAck();
+          return;
+        }
+        // IRN NACKs every OOO arrival and includes the triggering PSN so
+        // the sender can retransmit the precise gap [ePSN, tPSN).
+        SendIrnNack(pkt.psn);
+        return;
+      }
+      case TransportKind::kMultipath: {
+        auto [it, inserted] = ooo_received_.emplace(pkt.psn, pkt.payload_bytes);
+        (void)it;
+        if (!inserted) {
+          ++stats_.duplicates;
+          stats_.duplicate_bytes += pkt.wire_bytes;
+        }
+        // Fully OOO-tolerant: selective ACK for every arrival, never a NACK.
+        SendSack(pkt.psn);
+        return;
+      }
+    }
+    return;
+  }
+
+  // delta < 0: duplicate of an already-delivered packet (e.g. a spurious
+  // retransmission that lost the race with the original). ACK so the sender
+  // advances.
+  ++stats_.duplicates;
+  stats_.duplicate_bytes += pkt.wire_bytes;
+  SendAck();
+}
+
+void ReceiverQp::AcceptInOrder(uint32_t payload_bytes) {
+  in_order_bytes_ += payload_bytes;
+  stats_.goodput_bytes += payload_bytes;
+}
+
+void ReceiverQp::ExpectMessage(uint64_t bytes, std::function<void()> on_delivered) {
+  expected_cursor_ += bytes;
+  expected_.push_back(ExpectedMessage{expected_cursor_, std::move(on_delivered)});
+  // A zero-byte (or already-satisfied) expectation may complete immediately.
+  DeliverReadyMessages();
+}
+
+void ReceiverQp::DeliverReadyMessages() {
+  while (!expected_.empty() && in_order_bytes_ >= expected_.front().boundary) {
+    ExpectedMessage msg = std::move(expected_.front());
+    expected_.pop_front();
+    ++stats_.messages_delivered;
+    if (msg.callback) {
+      msg.callback();
+    }
+  }
+}
+
+void ReceiverQp::SendAck() {
+  ++stats_.acks_sent;
+  host_->SendControl(
+      MakeControlPacket(PacketType::kAck, flow_id_, host_->id(), src_host_, epsn_,
+                        config_.udp_sport));
+}
+
+void ReceiverQp::SendNack() {
+  // Per Section 2.2 the NACK carries only the ePSN — not the PSN of the OOO
+  // packet that triggered it. Themis-D must reconstruct that tPSN itself.
+  ++stats_.nacks_sent;
+  host_->SendControl(
+      MakeControlPacket(PacketType::kNack, flow_id_, host_->id(), src_host_, epsn_,
+                        config_.udp_sport));
+}
+
+void ReceiverQp::SendIrnNack(uint32_t trigger_psn) {
+  // IRN extension: the NACK names both the cumulative ePSN and the OOO PSN
+  // that triggered it (the very information commodity NACKs omit).
+  ++stats_.nacks_sent;
+  Packet nack = MakeControlPacket(PacketType::kNack, flow_id_, host_->id(), src_host_,
+                                  epsn_, config_.udp_sport);
+  nack.aux_psn = trigger_psn & kPsnMask;
+  host_->SendControl(nack);
+}
+
+void ReceiverQp::SendSack(uint32_t sacked_psn) {
+  // Multipath transport: cumulative ACK plus a selective acknowledgment of
+  // the packet that just arrived.
+  ++stats_.acks_sent;
+  Packet ack = MakeControlPacket(PacketType::kAck, flow_id_, host_->id(), src_host_, epsn_,
+                                 config_.udp_sport);
+  ack.aux_psn = sacked_psn & kPsnMask;
+  host_->SendControl(ack);
+}
+
+void ReceiverQp::MaybeSendCnp() {
+  const TimePs now = host_->sim()->now();
+  if (now - last_cnp_time_ < config_.cnp_interval) {
+    return;
+  }
+  last_cnp_time_ = now;
+  ++stats_.cnps_sent;
+  host_->SendControl(
+      MakeControlPacket(PacketType::kCnp, flow_id_, host_->id(), src_host_, epsn_,
+                        config_.udp_sport));
+}
+
+}  // namespace themis

@@ -1,0 +1,153 @@
+#include "src/rnic/rnic_host.h"
+
+#include <cassert>
+
+namespace themis {
+
+void RnicHost::ReceivePacket(const Packet& pkt, int in_port) {
+  (void)in_port;
+  switch (pkt.type) {
+    case PacketType::kData: {
+      ReceiverQp* qp = receiver_qp(pkt.flow_id);
+      if (qp == nullptr) {
+        ++host_stats_.unknown_flow_drops;
+        return;
+      }
+      qp->HandleData(pkt);
+      return;
+    }
+    case PacketType::kAck:
+    case PacketType::kNack:
+    case PacketType::kCnp: {
+      SenderQp* qp = sender_qp(pkt.flow_id);
+      if (qp == nullptr) {
+        ++host_stats_.unknown_flow_drops;
+        return;
+      }
+      if (pkt.type == PacketType::kAck) {
+        qp->HandleAck(pkt);
+      } else if (pkt.type == PacketType::kNack) {
+        qp->HandleNack(pkt);
+      } else {
+        qp->HandleCnp(pkt);
+      }
+      return;
+    }
+  }
+}
+
+SenderQp* RnicHost::CreateSenderQp(uint32_t flow_id, int dst_host, const QpConfig& config) {
+  auto qp = std::make_unique<SenderQp>(this, flow_id, dst_host, config);
+  SenderQp* raw = qp.get();
+  auto [it, inserted] = senders_.emplace(flow_id, std::move(qp));
+  (void)it;
+  assert(inserted && "duplicate sender flow id");
+  sender_list_.push_back(raw);
+  return raw;
+}
+
+ReceiverQp* RnicHost::CreateReceiverQp(uint32_t flow_id, int src_host, const QpConfig& config) {
+  auto qp = std::make_unique<ReceiverQp>(this, flow_id, src_host, config);
+  ReceiverQp* raw = qp.get();
+  auto [it, inserted] = receivers_.emplace(flow_id, std::move(qp));
+  (void)it;
+  assert(inserted && "duplicate receiver flow id");
+  receiver_list_.push_back(raw);
+  return raw;
+}
+
+SenderQp* RnicHost::sender_qp(uint32_t flow_id) {
+  auto it = senders_.find(flow_id);
+  return it == senders_.end() ? nullptr : it->second.get();
+}
+
+ReceiverQp* RnicHost::receiver_qp(uint32_t flow_id) {
+  auto it = receivers_.find(flow_id);
+  return it == receivers_.end() ? nullptr : it->second.get();
+}
+
+void RnicHost::SendControl(const Packet& pkt) {
+  ++host_stats_.control_packets_sent;
+  uplink()->Send(pkt);
+}
+
+void RnicHost::NotifyWork() {
+  if (!auto_schedule_) {
+    return;
+  }
+  if (state_ == SchedulerState::kTransmitting) {
+    return;  // loop continues once the current packet finishes serializing
+  }
+  if (state_ == SchedulerState::kSleeping) {
+    ++sleep_generation_;  // invalidate the pending wake-up
+    state_ = SchedulerState::kIdle;
+  }
+  RunScheduler();
+}
+
+void RnicHost::RunScheduler() {
+  assert(state_ == SchedulerState::kIdle);
+
+  // Earliest-eligible QP with pending work; round-robin among equals.
+  SenderQp* best = nullptr;
+  TimePs best_time = 0;
+  const size_t n = sender_list_.size();
+  for (size_t i = 0; i < n; ++i) {
+    SenderQp* qp = sender_list_[(rr_cursor_ + i) % n];
+    if (!qp->HasWork()) {
+      continue;
+    }
+    const TimePs t = qp->next_eligible();
+    if (best == nullptr || t < best_time) {
+      best = qp;
+      best_time = t;
+    }
+  }
+  if (best == nullptr) {
+    state_ = SchedulerState::kIdle;
+    return;
+  }
+
+  // PFC back-pressure: while the uplink is paused (or its data queue has
+  // not drained previously injected packets), hold off — the switch's pause
+  // frame throttles the NIC MAC. Poll at one MTU serialization time.
+  if (uplink()->paused() || uplink()->queued_data_bytes() >= 2 * 1500) {
+    state_ = SchedulerState::kSleeping;
+    const uint64_t generation = ++sleep_generation_;
+    sim()->Schedule(line_rate().SerializationTime(1500), [this, generation] {
+      if (generation != sleep_generation_ || state_ != SchedulerState::kSleeping) {
+        return;
+      }
+      state_ = SchedulerState::kIdle;
+      RunScheduler();
+    });
+    return;
+  }
+
+  const TimePs now = sim()->now();
+  if (best_time > now) {
+    // All eligible QPs are pacing; sleep until the earliest slot.
+    state_ = SchedulerState::kSleeping;
+    const uint64_t generation = ++sleep_generation_;
+    sim()->ScheduleAt(best_time, [this, generation] {
+      if (generation != sleep_generation_ || state_ != SchedulerState::kSleeping) {
+        return;
+      }
+      state_ = SchedulerState::kIdle;
+      RunScheduler();
+    });
+    return;
+  }
+
+  // Transmit one packet; hold the line for its serialization time.
+  const Packet pkt = best->DequeuePacket();
+  ++rr_cursor_;
+  uplink()->Send(pkt);
+  state_ = SchedulerState::kTransmitting;
+  sim()->Schedule(line_rate().SerializationTime(pkt.wire_bytes), [this] {
+    state_ = SchedulerState::kIdle;
+    RunScheduler();
+  });
+}
+
+}  // namespace themis

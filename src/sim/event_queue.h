@@ -1,0 +1,110 @@
+// A deterministic discrete-event queue.
+//
+// Events are (time, sequence, callback) triples kept in a binary heap. Ties
+// on time are broken by insertion sequence so that a given schedule order
+// always replays identically, which the reproduction relies on for
+// bit-identical simulation traces across runs.
+
+#ifndef THEMIS_SRC_SIM_EVENT_QUEUE_H_
+#define THEMIS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace themis {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to fire at absolute time `at`. `at` must not be earlier
+  // than the time of the most recently popped event.
+  void ScheduleAt(TimePs at, Callback cb) {
+    heap_.push_back(Entry{at, next_seq_++, std::move(cb)});
+    SiftUp(heap_.size() - 1);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event. Queue must be non-empty.
+  TimePs NextTime() const { return heap_.front().time; }
+
+  // Removes and returns the earliest event's callback, advancing `*time_out`.
+  Callback Pop(TimePs* time_out) {
+    Entry top = std::move(heap_.front());
+    const size_t n = heap_.size() - 1;
+    if (n > 0) {
+      heap_.front() = std::move(heap_.back());
+    }
+    heap_.pop_back();
+    if (n > 1) {
+      SiftDown(0);
+    }
+    *time_out = top.time;
+    return std::move(top.callback);
+  }
+
+  void Clear() {
+    heap_.clear();
+  }
+
+  uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    TimePs time;
+    uint64_t seq;
+    Callback callback;
+
+    bool Before(const Entry& other) const {
+      return time < other.time || (time == other.time && seq < other.seq);
+    }
+  };
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!heap_[i].Before(heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t left = 2 * i + 1;
+      const size_t right = 2 * i + 2;
+      size_t smallest = i;
+      if (left < n && heap_[left].Before(heap_[smallest])) {
+        smallest = left;
+      }
+      if (right < n && heap_[right].Before(heap_[smallest])) {
+        smallest = right;
+      }
+      if (smallest == i) {
+        break;
+      }
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_SIM_EVENT_QUEUE_H_

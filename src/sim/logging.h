@@ -1,0 +1,51 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// examples can raise the level. Messages carry the simulation timestamp when
+// a Simulator is attached.
+
+#ifndef THEMIS_SRC_SIM_LOGGING_H_
+#define THEMIS_SRC_SIM_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace themis {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+class Logger {
+ public:
+  static Logger& Global() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return static_cast<int>(level) <= static_cast<int>(level_); }
+
+  void Log(LogLevel level, TimePs at, const std::string& message) {
+    if (!Enabled(level)) {
+      return;
+    }
+    static const char* const kNames[] = {"NONE", "ERROR", "WARN", "INFO", "DEBUG"};
+    std::fprintf(stderr, "[%8.3fus] %-5s %s\n", ToMicroseconds(at),
+                 kNames[static_cast<int>(level)], message.c_str());
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kNone;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_SIM_LOGGING_H_

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** seeded through SplitMix64. All stochastic behaviour in the
+// simulator (random packet spraying, ECN marking, tie-breaking, workload
+// jitter) draws from one of these generators so a seed fully determines a
+// run.
+
+#ifndef THEMIS_SRC_SIM_RANDOM_H_
+#define THEMIS_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace themis {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EEDULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  // xoshiro256**.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  // multiply-shift rejection-free variant (negligible bias for our bounds).
+  uint64_t Below(uint64_t bound) {
+    const unsigned __int128 product = static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_SIM_RANDOM_H_

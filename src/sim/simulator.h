@@ -1,0 +1,168 @@
+// The simulation executive: owns the clock, the event queue, and the RNG.
+//
+// Every model object holds a Simulator* and schedules work through it. The
+// executive is single-threaded by design; determinism comes from integer
+// time plus FIFO tie-breaking in the event queue.
+
+#ifndef THEMIS_SRC_SIM_SIMULATOR_H_
+#define THEMIS_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace themis {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePs now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `cb` after `delay` (>= 0) from the current time.
+  void Schedule(TimePs delay, EventQueue::Callback cb) {
+    queue_.ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Schedules `cb` at absolute time `at` (>= now()).
+  void ScheduleAt(TimePs at, EventQueue::Callback cb) {
+    queue_.ScheduleAt(at, std::move(cb));
+  }
+
+  // Runs until the event queue drains or Stop() is called. Returns the
+  // number of events executed.
+  uint64_t Run() { return RunUntil(kTimeInfinity); }
+
+  // Runs until the queue drains, Stop() is called, or the next event would
+  // fire after `deadline`. The clock never exceeds `deadline`.
+  uint64_t RunUntil(TimePs deadline) {
+    stopped_ = false;
+    uint64_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+      if (queue_.NextTime() > deadline) {
+        break;
+      }
+      TimePs t = 0;
+      EventQueue::Callback cb = queue_.Pop(&t);
+      now_ = t;
+      cb();
+      ++executed;
+    }
+    events_executed_ += executed;
+    return executed;
+  }
+
+  // Requests the current Run()/RunUntil() loop to return after the event in
+  // progress completes.
+  void Stop() { stopped_ = true; }
+
+  bool HasPendingEvents() const { return !queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+  uint64_t events_scheduled() const { return queue_.total_scheduled(); }
+
+ private:
+  TimePs now_ = 0;
+  bool stopped_ = false;
+  uint64_t events_executed_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+// A cancellable, re-armable one-shot timer built on generation counting.
+// Cancel() and re-Arm() are O(1); superseded events become no-ops when they
+// fire.
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Simulator* sim, Callback cb) : sim_(sim), callback_(std::move(cb)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // Arms (or re-arms) the timer to fire `delay` from now.
+  void Arm(TimePs delay) {
+    const uint64_t generation = ++generation_;
+    armed_ = true;
+    deadline_ = sim_->now() + delay;
+    sim_->Schedule(delay, [this, generation] {
+      if (generation != generation_ || !armed_) {
+        return;
+      }
+      armed_ = false;
+      callback_();
+    });
+  }
+
+  void Cancel() {
+    ++generation_;
+    armed_ = false;
+  }
+
+  bool armed() const { return armed_; }
+  TimePs deadline() const { return deadline_; }
+
+ private:
+  Simulator* sim_;
+  Callback callback_;
+  uint64_t generation_ = 0;
+  bool armed_ = false;
+  TimePs deadline_ = 0;
+};
+
+// A fixed-period repeating timer. Stops when Cancel()ed or when the owner is
+// destroyed (owner must outlive the simulator run or call Cancel()).
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTimer(Simulator* sim, Callback cb) : sim_(sim), callback_(std::move(cb)) {}
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Start(TimePs period) {
+    period_ = period;
+    const uint64_t generation = ++generation_;
+    running_ = true;
+    ScheduleNext(generation);
+  }
+
+  void Cancel() {
+    ++generation_;
+    running_ = false;
+  }
+
+  bool running() const { return running_; }
+  TimePs period() const { return period_; }
+
+ private:
+  void ScheduleNext(uint64_t generation) {
+    sim_->Schedule(period_, [this, generation] {
+      if (generation != generation_ || !running_) {
+        return;
+      }
+      callback_();
+      // The callback may have cancelled or restarted the timer.
+      if (generation == generation_ && running_) {
+        ScheduleNext(generation);
+      }
+    });
+  }
+
+  Simulator* sim_;
+  Callback callback_;
+  TimePs period_ = 0;
+  uint64_t generation_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_SIM_SIMULATOR_H_

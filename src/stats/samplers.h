@@ -1,0 +1,71 @@
+// Periodic samplers that turn live simulator state into time series — used
+// to regenerate the paper's "over time" figures (Fig. 1b retransmission
+// ratio, Fig. 1c sending rate).
+
+#ifndef THEMIS_SRC_STATS_SAMPLERS_H_
+#define THEMIS_SRC_STATS_SAMPLERS_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/stats/time_series.h"
+
+namespace themis {
+
+// Samples `probe()` every `period` into a TimeSeries until Stop().
+class PeriodicSampler {
+ public:
+  PeriodicSampler(Simulator* sim, TimePs period, std::function<double()> probe)
+      : sim_(sim),
+        probe_(std::move(probe)),
+        timer_(sim, [this] { series_.Record(sim_->now(), probe_()); }) {
+    timer_.Start(period);
+  }
+
+  void Stop() { timer_.Cancel(); }
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  Simulator* sim_;
+  std::function<double()> probe_;
+  TimeSeries series_;
+  PeriodicTimer timer_;
+};
+
+// Samples the *increment* of a monotonically increasing byte counter,
+// converting it to a rate in Gbps over each period (Fig. 1c style).
+class RateSampler {
+ public:
+  RateSampler(Simulator* sim, TimePs period, std::function<uint64_t()> byte_counter)
+      : sim_(sim),
+        period_(period),
+        counter_(std::move(byte_counter)),
+        timer_(sim, [this] { Sample(); }) {
+    last_value_ = counter_();
+    timer_.Start(period);
+  }
+
+  void Stop() { timer_.Cancel(); }
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void Sample() {
+    const uint64_t value = counter_();
+    const double bits = static_cast<double>(value - last_value_) * 8.0;
+    const double gbps = bits / ToSeconds(period_) / 1e9;
+    series_.Record(sim_->now(), gbps);
+    last_value_ = value;
+  }
+
+  Simulator* sim_;
+  TimePs period_;
+  std::function<uint64_t()> counter_;
+  uint64_t last_value_ = 0;
+  TimeSeries series_;
+  PeriodicTimer timer_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_STATS_SAMPLERS_H_

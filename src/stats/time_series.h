@@ -1,0 +1,114 @@
+// Time-series recording and summary statistics for experiment output.
+
+#ifndef THEMIS_SRC_STATS_TIME_SERIES_H_
+#define THEMIS_SRC_STATS_TIME_SERIES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace themis {
+
+struct Sample {
+  TimePs time;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void Record(TimePs time, double value) { samples_.push_back(Sample{time, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (const Sample& s : samples_) {
+      sum += s.value;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    double m = samples_.empty() ? 0.0 : samples_.front().value;
+    for (const Sample& s : samples_) {
+      m = std::min(m, s.value);
+    }
+    return m;
+  }
+
+  double Max() const {
+    double m = samples_.empty() ? 0.0 : samples_.front().value;
+    for (const Sample& s : samples_) {
+      m = std::max(m, s.value);
+    }
+    return m;
+  }
+
+  // q in [0, 1]; nearest-rank on a sorted copy.
+  double Percentile(double q) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> values;
+    values.reserve(samples_.size());
+    for (const Sample& s : samples_) {
+      values.push_back(s.value);
+    }
+    std::sort(values.begin(), values.end());
+    const double rank = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// Statistics over a plain collection of scalars (e.g. per-flow throughputs).
+struct ScalarSummary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+
+  static ScalarSummary Of(const std::vector<double>& values) {
+    ScalarSummary s;
+    s.count = values.size();
+    if (values.empty()) {
+      return s;
+    }
+    s.min = values.front();
+    s.max = values.front();
+    double sum = 0.0;
+    for (double v : values) {
+      sum += v;
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) {
+      var += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+    return s;
+  }
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_STATS_TIME_SERIES_H_

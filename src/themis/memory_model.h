@@ -1,0 +1,58 @@
+// Analytic switch-memory model of paper Section 4 (Table 1).
+//
+// Validated against the paper's worked example: a k=32 fat-tree
+// (N_paths=256, 400 Gbps last hop, 2 us RTT, 16 NICs/ToR, 100 cross-rack
+// QPs/RNIC, MTU 1500, F=1.5) yields ~193 KB, a fraction of a percent of a
+// Tofino's 64 MB SRAM.
+
+#ifndef THEMIS_SRC_THEMIS_MEMORY_MODEL_H_
+#define THEMIS_SRC_THEMIS_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+#include "src/themis/psn_queue.h"
+
+namespace themis {
+
+struct MemoryModelParams {
+  uint32_t num_paths = 256;            // N_paths
+  Rate last_hop_bandwidth = Rate::Gbps(400);  // BW
+  TimePs last_hop_rtt = 2 * kMicrosecond;     // RTT_last
+  uint32_t nics_per_tor = 16;          // N_NIC
+  uint32_t qps_per_nic = 100;          // N_QP (cross-rack)
+  uint32_t mtu_bytes = 1500;           // MTU
+  double expansion_factor = 1.5;       // F
+
+  // Flow-table entry layout from Section 4: 13 B QP id + 3 B blocked ePSN +
+  // 1 B valid flag + 3 B queue metadata.
+  uint32_t flow_entry_bytes = 20;
+  uint32_t psn_entry_bytes = 1;  // truncated PSN
+
+  uint64_t switch_sram_bytes = 64ull * 1024 * 1024;  // Tofino reference
+};
+
+struct MemoryModelResult {
+  uint64_t path_map_bytes = 0;    // M_PathMap = N_paths * 2
+  uint64_t queue_entries = 0;     // N_entries = ceil(BW * RTT * F / MTU)
+  uint64_t per_qp_bytes = 0;      // M_QP = 20 + N_entries * 1
+  uint64_t total_bytes = 0;       // Eq. 4
+  double sram_fraction = 0.0;     // total / switch SRAM
+};
+
+inline MemoryModelResult EstimateThemisMemory(const MemoryModelParams& p) {
+  MemoryModelResult r;
+  r.path_map_bytes = static_cast<uint64_t>(p.num_paths) * 2;
+  r.queue_entries = PsnQueueCapacity(p.last_hop_bandwidth, p.last_hop_rtt,
+                                     p.expansion_factor, p.mtu_bytes);
+  r.per_qp_bytes = p.flow_entry_bytes + r.queue_entries * p.psn_entry_bytes;
+  r.total_bytes = r.path_map_bytes +
+                  r.per_qp_bytes * static_cast<uint64_t>(p.qps_per_nic) * p.nics_per_tor;
+  r.sram_fraction =
+      static_cast<double>(r.total_bytes) / static_cast<double>(p.switch_sram_bytes);
+  return r;
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_THEMIS_MEMORY_MODEL_H_

@@ -1,0 +1,44 @@
+#include "src/themis/path_map.h"
+
+namespace themis {
+
+uint32_t PathMap::PackRelativeChange(uint32_t hash_delta,
+                                     const std::vector<EcmpStage>& stages) {
+  uint32_t packed = 0;
+  uint32_t multiplier = 1;
+  for (const EcmpStage& stage : stages) {
+    const uint32_t bucket_xor = (hash_delta >> stage.shift) & (stage.group_size - 1);
+    packed += bucket_xor * multiplier;
+    multiplier *= stage.group_size;
+  }
+  return packed;
+}
+
+std::optional<PathMap> PathMap::Build(const std::vector<EcmpStage>& stages) {
+  uint32_t n = 1;
+  for (const EcmpStage& stage : stages) {
+    if (stage.group_size == 0 || (stage.group_size & (stage.group_size - 1)) != 0) {
+      return std::nullopt;  // linearity requires power-of-two groups
+    }
+    n *= stage.group_size;
+  }
+
+  std::vector<uint16_t> deltas(n, 0);
+  std::vector<bool> found(n, false);
+  uint32_t remaining = n;
+  for (uint32_t d = 0; d < 65536 && remaining > 0; ++d) {
+    const uint32_t h = SportDeltaHash(static_cast<uint16_t>(d));
+    const uint32_t r = PackRelativeChange(h, stages);
+    if (!found[r]) {
+      found[r] = true;
+      deltas[r] = static_cast<uint16_t>(d);
+      --remaining;
+    }
+  }
+  if (remaining > 0) {
+    return std::nullopt;
+  }
+  return PathMap(std::move(deltas));
+}
+
+}  // namespace themis

@@ -1,0 +1,63 @@
+// The PathMap (paper Fig. 3): offline-constructed table of UDP source-port
+// deltas that steers a packet onto a chosen equal-cost path by exploiting
+// ECMP hash linearity (Zhang et al., ATC'21).
+//
+// Every ECMP stage on the path extracts a bit-slice of the same CRC hash:
+//   bucket_s = ((h(tuple) ^ salt_s) >> shift_s) & (size_s - 1)
+// Because h is GF(2)-linear, XOR-ing a delta d into the sport moves every
+// stage's bucket by the corresponding slice of h(d'), where d' is the
+// 14-byte tuple with only the sport bytes set to d. The PathMap stores, for
+// each relative path change r (a packed vector of per-stage bucket XORs),
+// one 16-bit delta d whose hash realizes r. Themis-S then rewrites
+//   sport' = sport ^ delta[PSN mod N]
+// so the packet's path is a pure function of PSN mod N — Eq. 1 realized in
+// multi-tier fabrics with programmability at the ToR only.
+
+#ifndef THEMIS_SRC_THEMIS_PATH_MAP_H_
+#define THEMIS_SRC_THEMIS_PATH_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/lb/ecmp_hash.h"
+
+namespace themis {
+
+// One ECMP decision stage along the path: which slice of the hash the
+// switches at this tier consult. `group_size` must be a power of two.
+struct EcmpStage {
+  uint32_t shift = 0;
+  uint32_t group_size = 2;
+};
+
+class PathMap {
+ public:
+  // Builds the delta table for the given ECMP stages. N = product of stage
+  // group sizes. Returns nullopt if some relative change has no 16-bit
+  // delta realizing it (cannot happen when the combined slice width is
+  // <= 16 bits of a CRC, but the builder checks anyway).
+  static std::optional<PathMap> Build(const std::vector<EcmpStage>& stages);
+
+  // Number of distinct relative path changes (== number of equal-cost paths).
+  uint32_t path_count() const { return static_cast<uint32_t>(deltas_.size()); }
+
+  // The sport delta realizing relative path change `r` (r < path_count()).
+  uint16_t DeltaFor(uint32_t r) const { return deltas_[r % deltas_.size()]; }
+
+  // Packs the per-stage bucket XORs induced by hash-delta `h` into a single
+  // relative-change index.
+  static uint32_t PackRelativeChange(uint32_t hash_delta, const std::vector<EcmpStage>& stages);
+
+  // Memory footprint per Section 4: N entries x 2 bytes.
+  uint64_t MemoryBytes() const { return static_cast<uint64_t>(deltas_.size()) * 2; }
+
+ private:
+  explicit PathMap(std::vector<uint16_t> deltas) : deltas_(std::move(deltas)) {}
+
+  std::vector<uint16_t> deltas_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_THEMIS_PATH_MAP_H_

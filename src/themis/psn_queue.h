@@ -1,0 +1,133 @@
+// Ring-based PSN queue (paper Section 3.3).
+//
+// The destination ToR caches the PSN of every data packet it forwards down
+// the last hop. When a NACK comes back, scanning (dequeuing) this FIFO for
+// the first PSN greater than the NACK's ePSN recovers the tPSN — the PSN of
+// the out-of-order packet that must have triggered the NACK — because the
+// RNIC emits at most one NACK per ePSN and dequeue order equals arrival
+// order at the NIC.
+//
+// As in the paper's memory analysis, entries store a 1-byte truncated PSN;
+// the full PSN is reconstructed relative to the ePSN being searched. The
+// queue is sized to the last-hop BDP (x a safety factor), which also bounds
+// the truncation window: any in-flight last-hop packet is within +/-128
+// PSNs of the ePSN for MTU-sized packets at the paper's reference
+// parameters. A capacity overflow evicts the oldest entry (FIFO semantics)
+// and is counted; correctness degrades gracefully because an unmatched scan
+// fails open (the NACK is forwarded).
+
+#ifndef THEMIS_SRC_THEMIS_PSN_QUEUE_H_
+#define THEMIS_SRC_THEMIS_PSN_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/net/psn.h"
+#include "src/sim/time.h"
+
+namespace themis {
+
+class PsnQueue {
+ public:
+  // `capacity` = number of entries; `truncate` selects the paper's 1-byte
+  // entry encoding (default) vs. full 24-bit entries (used by tests to
+  // validate the reconstruction).
+  explicit PsnQueue(size_t capacity, bool truncate = true)
+      : entries_(capacity), truncate_(truncate) {}
+
+  size_t capacity() const { return entries_.size(); }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  uint64_t overflows() const { return overflows_; }
+
+  // Appends the PSN of a packet leaving the ToR towards the NIC. If the
+  // queue is full the oldest entry is evicted.
+  void Push(uint32_t psn) {
+    if (count_ == entries_.size()) {
+      head_ = Advance(head_);
+      --count_;
+      ++overflows_;
+    }
+    entries_[tail_] = Encode(psn);
+    tail_ = Advance(tail_);
+    ++count_;
+  }
+
+  // Dequeues entries until one decodes to a PSN strictly greater (in serial
+  // order) than `epsn`; returns that PSN (the tPSN) or nullopt if the queue
+  // drains first. Dequeued entries are consumed, matching the switch
+  // implementation where the scan advances the ring head.
+  std::optional<uint32_t> PopUntilGreater(uint32_t epsn) {
+    while (count_ > 0) {
+      const uint32_t psn = Decode(entries_[head_], epsn);
+      head_ = Advance(head_);
+      --count_;
+      if (PsnGt(psn, epsn)) {
+        return psn;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Non-destructive membership check (decoding truncated entries relative
+  // to `reference`). Used by Themis-D to detect that a NACK's ePSN packet
+  // already passed the ToR and is merely in flight on the last hop — in
+  // which case compensation must not be armed.
+  bool Contains(uint32_t psn, uint32_t reference) const {
+    size_t index = head_;
+    for (size_t i = 0; i < count_; ++i) {
+      if (Decode(entries_[index], reference) == psn) {
+        return true;
+      }
+      index = Advance(index);
+    }
+    return false;
+  }
+
+  void Clear() {
+    head_ = 0;
+    tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  size_t Advance(size_t i) const { return (i + 1 == entries_.size()) ? 0 : i + 1; }
+
+  uint32_t Encode(uint32_t psn) const { return truncate_ ? (psn & 0xFF) : psn; }
+
+  // Reconstructs a truncated PSN near `reference`: choose the value with the
+  // matching low byte within (reference - 128, reference + 128].
+  uint32_t Decode(uint32_t stored, uint32_t reference) const {
+    if (!truncate_) {
+      return stored;
+    }
+    const uint32_t delta = (stored - reference) & 0xFF;  // low-byte difference
+    // Map to signed offset in (-128, 128].
+    const int32_t offset = (delta <= 128) ? static_cast<int32_t>(delta)
+                                          : static_cast<int32_t>(delta) - 256;
+    return PsnAdd(reference, offset);
+  }
+
+  std::vector<uint32_t> entries_;
+  bool truncate_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t count_ = 0;
+  uint64_t overflows_ = 0;
+};
+
+// Queue capacity rule from Section 4: slightly more than BDP/MTU.
+//   N_entries = ceil(BW * RTT_last * F / MTU)
+constexpr size_t PsnQueueCapacity(Rate bandwidth, TimePs rtt_last_hop, double expansion_factor,
+                                  uint32_t mtu_bytes) {
+  const double bdp_bytes =
+      static_cast<double>(bandwidth.bps()) / 8.0 * ToSeconds(rtt_last_hop);
+  const double entries = bdp_bytes * expansion_factor / static_cast<double>(mtu_bytes);
+  const auto rounded = static_cast<size_t>(entries);
+  return (static_cast<double>(rounded) < entries) ? rounded + 1 : rounded;
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_THEMIS_PSN_QUEUE_H_

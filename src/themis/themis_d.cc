@@ -1,0 +1,128 @@
+#include "src/themis/themis_d.h"
+
+namespace themis {
+
+bool ThemisD::OnIngress(Switch& sw, Packet& pkt, int in_port) {
+  if (!enabled_) {
+    return true;
+  }
+  if (pkt.type == PacketType::kData) {
+    // Track only data packets about to take the last hop to a local NIC.
+    if (!sw.IsLastHop(pkt.dst_host)) {
+      return true;
+    }
+    if (is_cross_rack_ && !is_cross_rack_(pkt)) {
+      return true;
+    }
+    return HandleData(sw, pkt);
+  }
+  if (pkt.type == PacketType::kNack) {
+    // Validate only NACKs freshly emitted by a local NIC.
+    if (!sw.IsHostPort(in_port)) {
+      return true;
+    }
+    return HandleNack(pkt);
+  }
+  if (pkt.type == PacketType::kAck && sw.IsHostPort(in_port)) {
+    // Snoop the NIC's cumulative ACK stream (the ACK carries the ePSN).
+    auto it = flows_.find(pkt.flow_id);
+    if (it != flows_.end()) {
+      ObserveCumulativeAck(it->second, pkt.psn);
+    }
+  }
+  return true;
+}
+
+void ThemisD::ObserveCumulativeAck(FlowEntry& entry, uint32_t epsn) {
+  if (!entry.cum_ack_seen || PsnGt(epsn, entry.cum_ack)) {
+    entry.cum_ack = epsn;
+    entry.cum_ack_seen = true;
+  }
+  // Everything below cum_ack was received: a pending compensation for an
+  // already-acknowledged BePSN is moot.
+  if (entry.valid && PsnLt(entry.blocked_epsn, entry.cum_ack)) {
+    entry.valid = false;
+    ++stats_.compensations_cancelled;
+  }
+}
+
+bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
+  auto [it, inserted] = flows_.try_emplace(pkt.flow_id, config_);
+  if (inserted) {
+    // Models the connection-setup handshake interception that provisions
+    // the per-QP ring queue and flow-table entry.
+    ++stats_.flows_created;
+  }
+  FlowEntry& entry = it->second;
+
+  // NACK compensation (Section 3.4), checked before the packet is enqueued.
+  if (entry.valid) {
+    if (pkt.psn == entry.blocked_epsn) {
+      // The supposedly-lost packet arrived: no compensation needed.
+      entry.valid = false;
+      ++stats_.compensations_cancelled;
+    } else if (PsnGt(pkt.psn, entry.blocked_epsn) && SamePath(pkt.psn, entry.blocked_epsn)) {
+      // A later packet from the *same path* overtook BePSN: the BePSN
+      // packet is genuinely lost. Generate the NACK the RNIC cannot.
+      Packet nack = MakeControlPacket(PacketType::kNack, pkt.flow_id,
+                                      /*src=*/pkt.dst_host, /*dst=*/pkt.src_host,
+                                      entry.blocked_epsn, pkt.udp_sport);
+      sw.Forward(nack);
+      entry.valid = false;
+      ++stats_.compensated_nacks;
+    }
+  }
+
+  entry.queue.Push(pkt.psn);
+  ++stats_.data_tracked;
+  return true;
+}
+
+bool ThemisD::HandleNack(const Packet& pkt) {
+  auto it = flows_.find(pkt.flow_id);
+  if (it == flows_.end()) {
+    return true;  // untracked flow (e.g. intra-rack): fail open
+  }
+  ++stats_.nacks_seen;
+  FlowEntry& entry = it->second;
+  // A NACK's ePSN is also a cumulative acknowledgment.
+  ObserveCumulativeAck(entry, pkt.psn);
+
+  // The NACK carries only the ePSN; recover the tPSN from the ring queue.
+  const std::optional<uint32_t> tpsn = entry.queue.PopUntilGreater(pkt.psn);
+  if (!tpsn.has_value()) {
+    ++stats_.nacks_forwarded_unmatched;
+    return true;  // cannot prove anything: fail open
+  }
+
+  if (SamePath(*tpsn, pkt.psn)) {
+    // Eq. 3 holds: the OOO packet shared the expected packet's path, so the
+    // expected packet is genuinely lost. Let the NACK through.
+    ++stats_.nacks_forwarded_valid;
+    return true;
+  }
+
+  // Different path: delay variation, not loss. Block, and arm compensation —
+  // unless the ePSN packet already passed this ToR (it arrived after the
+  // triggering packet and is still queued on the last hop): then it is
+  // provably not lost and no compensation may ever fire for it.
+  ++stats_.nacks_blocked;
+  if (entry.queue.Contains(pkt.psn, pkt.psn)) {
+    entry.valid = false;
+    ++stats_.compensations_suppressed;
+    return false;
+  }
+  entry.blocked_epsn = pkt.psn;
+  entry.valid = config_.compensation_enabled;
+  return false;
+}
+
+uint64_t ThemisD::TotalQueueOverflows() const {
+  uint64_t total = 0;
+  for (const auto& [flow_id, entry] : flows_) {
+    total += entry.queue.overflows();
+  }
+  return total;
+}
+
+}  // namespace themis

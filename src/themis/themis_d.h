@@ -1,0 +1,112 @@
+// Themis-Destination (paper Sections 3.3 & 3.4): NACK validation at the
+// destination ToR.
+//
+// For every cross-rack data packet forwarded down the last hop, the PSN is
+// pushed into that QP's ring-based PSN queue. When the local RNIC emits a
+// NACK (which carries only the ePSN), the queue is scanned for the first
+// PSN greater than the ePSN — the tPSN, i.e. the out-of-order packet that
+// triggered this NACK. Eq. 3 then decides validity:
+//     valid  <=>  tPSN mod N == ePSN mod N
+// Valid NACKs (same path: the expected packet is genuinely lost) pass
+// through; invalid NACKs (different path: mere delay variation) are blocked.
+//
+// Blocking creates the Section 3.4 obligation: the RNIC will never NACK
+// that ePSN again, so if a later same-path packet proves the loss, Themis-D
+// generates the NACK on the RNIC's behalf (BePSN/Valid fields).
+//
+// Fail-open safety: any NACK whose tPSN cannot be identified (unknown flow,
+// drained queue, overflowed ring) is forwarded, never dropped.
+
+#ifndef THEMIS_SRC_THEMIS_THEMIS_D_H_
+#define THEMIS_SRC_THEMIS_THEMIS_D_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/themis/psn_queue.h"
+#include "src/topo/switch.h"
+
+namespace themis {
+
+struct ThemisDConfig {
+  uint32_t num_paths = 0;      // N of Eq. 1/3 (0 = fill from topology)
+  size_t queue_capacity = 64;  // PSN-queue entries per QP (Section 4 rule)
+  bool truncate_entries = true;
+  bool compensation_enabled = true;  // Section 3.4 (ablation knob)
+};
+
+struct ThemisDStats {
+  uint64_t data_tracked = 0;
+  uint64_t flows_created = 0;
+  uint64_t nacks_seen = 0;
+  uint64_t nacks_blocked = 0;
+  uint64_t nacks_forwarded_valid = 0;
+  uint64_t nacks_forwarded_unmatched = 0;  // fail-open: no tPSN identified
+  uint64_t compensated_nacks = 0;          // NACKs generated on the RNIC's behalf
+  uint64_t compensations_cancelled = 0;    // BePSN packet showed up after all
+  uint64_t compensations_suppressed = 0;   // BePSN was already past the ToR at block time
+};
+
+class ThemisD : public SwitchHook {
+ public:
+  // `is_cross_rack(pkt)` gates tracking to cross-rack QPs (Section 4: ToR
+  // state is kept only for QPs between different racks). Pass nullptr to
+  // track everything.
+  ThemisD(const ThemisDConfig& config, std::function<bool(const Packet&)> is_cross_rack)
+      : config_(config), is_cross_rack_(std::move(is_cross_rack)) {
+    if (config_.num_paths == 0) {
+      config_.num_paths = 1;
+    }
+  }
+
+  bool OnIngress(Switch& sw, Packet& pkt, int in_port) override;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Drops all per-flow state (ring queues, BePSN/Valid, ACK trackers).
+  // Called when Themis re-engages after an ECMP fallback period: PSNs
+  // recorded under a different routing mode would misidentify tPSNs.
+  void ResetFlowState() { flows_.clear(); }
+
+  const ThemisDConfig& config() const { return config_; }
+  const ThemisDStats& stats() const { return stats_; }
+  size_t flow_count() const { return flows_.size(); }
+
+  // Total PSN-queue ring overflows across flows (diagnostic).
+  uint64_t TotalQueueOverflows() const;
+
+ private:
+  struct FlowEntry {
+    explicit FlowEntry(const ThemisDConfig& config)
+        : queue(config.queue_capacity, config.truncate_entries) {}
+    PsnQueue queue;
+    uint32_t blocked_epsn = 0;  // BePSN
+    bool valid = false;         // Valid flag of Section 3.4
+    // Highest cumulative ACK observed from the local NIC (ACK/NACK packets
+    // carry the receiver's ePSN). Guards compensation against the race
+    // where the BePSN packet had already passed the ToR before the NACK
+    // came back: once the NIC acknowledges past BePSN, the packet was
+    // received and no compensation must be generated.
+    uint32_t cum_ack = 0;
+    bool cum_ack_seen = false;
+  };
+
+  bool SamePath(uint32_t psn_a, uint32_t psn_b) const {
+    return psn_a % config_.num_paths == psn_b % config_.num_paths;
+  }
+
+  bool HandleData(Switch& sw, const Packet& pkt);
+  bool HandleNack(const Packet& pkt);
+  void ObserveCumulativeAck(FlowEntry& entry, uint32_t epsn);
+
+  ThemisDConfig config_;
+  std::function<bool(const Packet&)> is_cross_rack_;
+  bool enabled_ = true;
+  std::unordered_map<uint32_t, FlowEntry> flows_;
+  ThemisDStats stats_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_THEMIS_THEMIS_D_H_

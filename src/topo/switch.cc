@@ -1,0 +1,150 @@
+#include "src/topo/switch.h"
+
+#include <array>
+
+namespace themis {
+
+void Switch::ReceivePacket(const Packet& pkt, int in_port) {
+  Packet mutable_pkt = pkt;
+  // Re-home the buffer attribution to this switch's ingress.
+  mutable_pkt.sim_ingress = in_port;
+  for (SwitchHook* hook : hooks_) {
+    if (!hook->OnIngress(*this, mutable_pkt, in_port)) {
+      ++stats_.consumed_by_hook;
+      return;
+    }
+  }
+  Forward(mutable_pkt);
+}
+
+void Switch::Forward(const Packet& pkt) {
+  const auto dst = static_cast<size_t>(pkt.dst_host);
+  if (dst >= routes_.size() || routes_[dst].empty()) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  const std::vector<Port*>& all = routes_[dst];
+
+  // Fast path: no failed candidates (the common case).
+  std::array<Port*, 64> live_storage;
+  std::span<Port* const> candidates(all.data(), all.size());
+  size_t live_count = 0;
+  for (Port* port : all) {
+    if (!port->failed()) {
+      if (live_count < live_storage.size()) {
+        live_storage[live_count] = port;
+      }
+      ++live_count;
+    }
+  }
+  if (live_count == 0) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  if (live_count != all.size()) {
+    candidates = std::span<Port* const>(live_storage.data(), live_count);
+  }
+
+  LbContext ctx{.switch_salt = ecmp_salt_,
+                .hash_shift = hash_shift_,
+                .now = sim()->now(),
+                .rng = &sim()->rng()};
+  LoadBalancer* lb = pkt.IsControl() ? &control_lb_ : data_lb_.get();
+  const size_t choice = lb->Select(pkt, candidates, ctx);
+  ++stats_.forwarded;
+  // Charge shared-buffer credit BEFORE handing to the egress: an idle port
+  // transmits synchronously, and the dequeue callback releases the credit.
+  const bool track = pfc_.enabled && !pkt.IsControl() && pkt.sim_ingress >= 0;
+  if (track) {
+    ChargeIngress(pkt.sim_ingress, pkt.wire_bytes);
+  }
+  const bool accepted = candidates[choice]->Send(pkt);
+  if (track && !accepted) {
+    ReleaseIngress(pkt.sim_ingress, pkt.wire_bytes);
+  }
+}
+
+void Switch::OnDataPacketDequeued(const Packet& pkt) {
+  if (pfc_.enabled && pkt.sim_ingress >= 0) {
+    ReleaseIngress(pkt.sim_ingress, pkt.wire_bytes);
+  }
+}
+
+void Switch::ChargeIngress(int in_port, int64_t bytes) {
+  const auto index = static_cast<size_t>(in_port);
+  if (ingress_bytes_.size() <= index) {
+    ingress_bytes_.resize(index + 1, 0);
+    ingress_paused_.resize(index + 1, false);
+  }
+  ingress_bytes_[index] += bytes;
+  if (!ingress_paused_[index] && ingress_bytes_[index] >= pfc_.xoff_bytes) {
+    ingress_paused_[index] = true;
+    ++stats_.pfc_pauses_sent;
+    SendPfcFrame(in_port, /*pause=*/true);
+  }
+}
+
+void Switch::ReleaseIngress(int in_port, int64_t bytes) {
+  const auto index = static_cast<size_t>(in_port);
+  if (ingress_bytes_.size() <= index) {
+    return;
+  }
+  ingress_bytes_[index] -= bytes;
+  if (ingress_paused_[index] && ingress_bytes_[index] <= pfc_.xon_bytes) {
+    ingress_paused_[index] = false;
+    ++stats_.pfc_resumes_sent;
+    SendPfcFrame(in_port, /*pause=*/false);
+  }
+}
+
+void Switch::SendPfcFrame(int in_port, bool pause) {
+  // PFC frames are link-local and ride the highest priority: model them as
+  // an out-of-band signal delivered after one frame time + propagation.
+  Port* reverse = port(in_port);
+  if (!reverse->connected() || reverse->failed()) {
+    return;
+  }
+  Port* upstream_port = reverse->peer()->port(reverse->peer_port());
+  const TimePs latency =
+      reverse->rate().SerializationTime(kControlPacketBytes) + reverse->propagation_delay();
+  sim()->Schedule(latency, [upstream_port, pause] { upstream_port->SetPaused(pause); });
+}
+
+void Switch::SetRoute(int dst_node, std::vector<int> port_indices) {
+  const auto dst = static_cast<size_t>(dst_node);
+  if (routes_.size() <= dst) {
+    routes_.resize(dst + 1);
+    last_hop_.resize(dst + 1, false);
+  }
+  std::vector<Port*> ports;
+  ports.reserve(port_indices.size());
+  bool all_host_facing = !port_indices.empty();
+  for (int index : port_indices) {
+    ports.push_back(port(index));
+    all_host_facing = all_host_facing && IsHostPort(index);
+  }
+  routes_[dst] = std::move(ports);
+  last_hop_[dst] = all_host_facing;
+}
+
+std::span<Port* const> Switch::RouteCandidates(int dst_node) const {
+  const auto dst = static_cast<size_t>(dst_node);
+  if (dst >= routes_.size()) {
+    return {};
+  }
+  return std::span<Port* const>(routes_[dst].data(), routes_[dst].size());
+}
+
+bool Switch::IsLastHop(int dst_node) const {
+  const auto dst = static_cast<size_t>(dst_node);
+  return dst < last_hop_.size() && last_hop_[dst];
+}
+
+void Switch::MarkHostPort(int port_index) {
+  if (host_port_.size() <= static_cast<size_t>(port_index)) {
+    host_port_.resize(static_cast<size_t>(port_index) + 1, false);
+  }
+  host_port_[static_cast<size_t>(port_index)] = true;
+}
+
+}  // namespace themis

@@ -1,0 +1,194 @@
+// Unit tests for congestion control: DCQCN decrease/increase machinery,
+// TI/TD knobs, alpha dynamics, NACK reaction.
+
+#include <gtest/gtest.h>
+
+#include "src/cc/congestion_control.h"
+#include "src/cc/dcqcn.h"
+
+namespace themis {
+namespace {
+
+DcqcnConfig TestConfig() {
+  DcqcnConfig config;
+  config.line_rate = Rate::Gbps(100);
+  config.min_rate = Rate::Mbps(100);
+  config.rate_increase_period = 300 * kMicrosecond;
+  config.rate_decrease_interval = 4 * kMicrosecond;
+  config.alpha_update_interval = 55 * kMicrosecond;
+  return config;
+}
+
+TEST(FixedRateCcTest, HoldsRate) {
+  FixedRateCc cc(Rate::Gbps(42));
+  EXPECT_EQ(cc.rate(), Rate::Gbps(42));
+  cc.OnCnp();
+  cc.OnNack();
+  EXPECT_EQ(cc.rate(), Rate::Gbps(42));
+  cc.set_rate(Rate::Gbps(7));
+  EXPECT_EQ(cc.rate(), Rate::Gbps(7));
+}
+
+TEST(DcqcnTest, StartsAtLineRate) {
+  Simulator sim;
+  DcqcnCc cc(&sim, TestConfig());
+  EXPECT_EQ(cc.rate(), Rate::Gbps(100));
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+}
+
+TEST(DcqcnTest, FirstCnpHalvesRate) {
+  Simulator sim;
+  DcqcnCc cc(&sim, TestConfig());
+  cc.OnCnp();
+  // alpha = 1 -> rate *= (1 - 1/2).
+  EXPECT_EQ(cc.rate(), Rate::Gbps(50));
+  EXPECT_EQ(cc.target_rate(), Rate::Gbps(100));
+  EXPECT_EQ(cc.stats().rate_decreases, 1u);
+}
+
+TEST(DcqcnTest, TdSuppressesBackToBackDecreases) {
+  Simulator sim;
+  DcqcnCc cc(&sim, TestConfig());
+  cc.OnCnp();
+  const Rate after_first = cc.rate();
+  cc.OnCnp();  // same instant: suppressed by TD
+  EXPECT_EQ(cc.rate(), after_first);
+  EXPECT_EQ(cc.stats().rate_decreases, 1u);
+
+  // After TD elapses the next CNP cuts again.
+  sim.Schedule(5 * kMicrosecond, [&] { cc.OnCnp(); });
+  sim.RunUntil(6 * kMicrosecond);
+  EXPECT_LT(cc.rate(), after_first);
+  EXPECT_EQ(cc.stats().rate_decreases, 2u);
+}
+
+TEST(DcqcnTest, LargerTdMeansFewerDecreases) {
+  for (const auto& [td_us, expected_cuts] : {std::pair<int64_t, uint64_t>{4, 10},
+                                             std::pair<int64_t, uint64_t>{50, 2},
+                                             std::pair<int64_t, uint64_t>{200, 1}}) {
+    Simulator sim;
+    DcqcnConfig config = TestConfig();
+    config.rate_decrease_interval = td_us * kMicrosecond;
+    DcqcnCc cc(&sim, config);
+    // A CNP every 10 us for 100 us.
+    for (int i = 0; i < 10; ++i) {
+      sim.Schedule(i * 10 * kMicrosecond, [&] { cc.OnCnp(); });
+    }
+    sim.RunUntil(99 * kMicrosecond);
+    EXPECT_EQ(cc.stats().rate_decreases, expected_cuts) << "TD=" << td_us << "us";
+  }
+}
+
+TEST(DcqcnTest, NackTriggersDecreaseWhenEnabled) {
+  Simulator sim;
+  DcqcnCc cc(&sim, TestConfig());
+  cc.OnNack();
+  EXPECT_EQ(cc.rate(), Rate::Gbps(50));
+  EXPECT_EQ(cc.stats().nack_decreases, 1u);
+}
+
+TEST(DcqcnTest, NackIgnoredWhenDisabled) {
+  Simulator sim;
+  DcqcnConfig config = TestConfig();
+  config.react_to_nack = false;
+  DcqcnCc cc(&sim, config);
+  cc.OnNack();
+  EXPECT_EQ(cc.rate(), Rate::Gbps(100));
+  EXPECT_EQ(cc.stats().rate_decreases, 0u);
+}
+
+TEST(DcqcnTest, TimerDrivenFastRecovery) {
+  Simulator sim;
+  DcqcnConfig config = TestConfig();
+  DcqcnCc cc(&sim, config);
+  cc.OnCnp();  // rate 50, target 100
+  // One TI period: fast recovery moves halfway to target.
+  sim.RunUntil(sim.now() + config.rate_increase_period + kMicrosecond);
+  EXPECT_EQ(cc.rate(), Rate::Gbps(75));
+}
+
+TEST(DcqcnTest, RecoveryApproachesLineRate) {
+  Simulator sim;
+  DcqcnConfig config = TestConfig();
+  config.rate_increase_period = 10 * kMicrosecond;
+  DcqcnCc cc(&sim, config);
+  cc.OnCnp();
+  sim.RunUntil(5 * kMillisecond);  // many increase periods, incl. AI/HAI
+  EXPECT_GT(cc.rate(), Rate::Gbps(99));
+  EXPECT_LE(cc.rate(), Rate::Gbps(100));
+}
+
+TEST(DcqcnTest, SmallerTiRecoversFaster) {
+  auto rate_after = [](TimePs ti, TimePs horizon) {
+    Simulator sim;
+    DcqcnConfig config = TestConfig();
+    config.rate_increase_period = ti;
+    DcqcnCc cc(&sim, config);
+    cc.OnCnp();
+    sim.RunUntil(horizon);
+    return cc.rate();
+  };
+  const Rate fast = rate_after(10 * kMicrosecond, 500 * kMicrosecond);
+  const Rate slow = rate_after(900 * kMicrosecond, 500 * kMicrosecond);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(DcqcnTest, AlphaDecaysWithoutCnps) {
+  Simulator sim;
+  DcqcnCc cc(&sim, TestConfig());
+  cc.OnCnp();
+  const double alpha_after_cnp = cc.alpha();
+  sim.RunUntil(sim.now() + 10 * 55 * kMicrosecond + kMicrosecond);
+  EXPECT_LT(cc.alpha(), alpha_after_cnp);
+}
+
+TEST(DcqcnTest, LaterCutsAreGentler) {
+  // After alpha decays, a cut removes less than half the rate.
+  Simulator sim;
+  DcqcnConfig config = TestConfig();
+  DcqcnCc cc(&sim, config);
+  cc.OnCnp();  // 50 Gbps, alpha ~1
+  sim.RunUntil(6 * kMillisecond);  // recover + decay alpha
+  const Rate before = cc.rate();
+  sim.Schedule(0, [&] { cc.OnCnp(); });
+  sim.RunUntil(sim.now() + 1);
+  const double cut_fraction = 1.0 - static_cast<double>(cc.rate().bps()) /
+                                        static_cast<double>(before.bps());
+  EXPECT_LT(cut_fraction, 0.4);
+}
+
+TEST(DcqcnTest, RateNeverBelowMinRate) {
+  Simulator sim;
+  DcqcnConfig config = TestConfig();
+  config.rate_decrease_interval = 0;
+  DcqcnCc cc(&sim, config);
+  for (int i = 0; i < 200; ++i) {
+    cc.OnCnp();
+  }
+  EXPECT_GE(cc.rate(), config.min_rate);
+}
+
+TEST(DcqcnTest, ByteCounterDrivesIncreaseWithoutTimer) {
+  Simulator sim;
+  DcqcnConfig config = TestConfig();
+  config.rate_increase_period = kSecond;  // timer effectively off
+  config.byte_counter_bytes = 1000;
+  DcqcnCc cc(&sim, config);
+  cc.OnCnp();  // 50
+  cc.OnPacketSent(1000);
+  EXPECT_EQ(cc.rate(), Rate::Gbps(75));  // one byte-stage fast recovery
+}
+
+TEST(DcqcnTest, ShutdownStopsTimers) {
+  Simulator sim;
+  {
+    DcqcnCc cc(&sim, TestConfig());
+    cc.Shutdown();
+  }
+  // Draining must terminate: pending timer events are inert after Shutdown.
+  const uint64_t executed = sim.Run();
+  EXPECT_LE(executed, 4u);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,128 @@
+// Tests for the Experiment facade: scheme wiring, derived configuration
+// (buffers, ECN, PFC), and the telemetry helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace themis {
+namespace {
+
+ExperimentConfig TinyConfig(Scheme scheme) {
+  ExperimentConfig config;
+  config.num_tors = 4;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.cc = CcKind::kFixedRate;
+  return config;
+}
+
+TEST(ExperimentConfigTest, SchemeInstallsExpectedTorPolicy) {
+  struct Case {
+    Scheme scheme;
+    const char* tor_lb;
+    const char* spine_lb;
+  };
+  const Case cases[] = {
+      {Scheme::kEcmp, "ecmp", "ecmp"},
+      {Scheme::kAdaptiveRouting, "adaptive", "adaptive"},
+      {Scheme::kRandomSpray, "random-spray", "random-spray"},
+      {Scheme::kFlowlet, "flowlet", "flowlet"},
+      {Scheme::kThemis, "psn-spray", "ecmp"},
+  };
+  for (const Case& c : cases) {
+    Experiment exp(TinyConfig(c.scheme));
+    EXPECT_STREQ(exp.topology().tors[0]->data_lb()->name(), c.tor_lb) << SchemeName(c.scheme);
+    for (Switch* sw : exp.topology().switches) {
+      if (sw->name().rfind("spine", 0) == 0) {
+        EXPECT_STREQ(sw->data_lb()->name(), c.spine_lb) << SchemeName(c.scheme);
+        break;
+      }
+    }
+    EXPECT_EQ(exp.themis() != nullptr, c.scheme == Scheme::kThemis);
+  }
+}
+
+TEST(ExperimentConfigTest, PortQueueDerivedFromSharedBuffer) {
+  ExperimentConfig config = TinyConfig(Scheme::kEcmp);
+  config.switch_buffer_bytes = 64 * 1024 * 1024;
+  Experiment exp(config);
+  // 4 hosts + 4 spines per ToR -> 8 ports.
+  EXPECT_EQ(exp.config().port_queue_bytes, 64 * 1024 * 1024 / 8);
+}
+
+TEST(ExperimentConfigTest, ExplicitPortQueueWins) {
+  ExperimentConfig config = TinyConfig(Scheme::kEcmp);
+  config.port_queue_bytes = 123456;
+  Experiment exp(config);
+  EXPECT_EQ(exp.config().port_queue_bytes, 123456);
+}
+
+TEST(ExperimentConfigTest, EcnThresholdsScaleWithRate) {
+  Experiment exp(TinyConfig(Scheme::kEcmp));  // 100G = 1/4 of the 400G reference
+  EXPECT_EQ(exp.config().ecn.kmin_bytes, 100 * 1024 / 4);
+  EXPECT_EQ(exp.config().ecn.kmax_bytes, 400 * 1024 / 4);
+}
+
+TEST(ExperimentConfigTest, FixedRateDefaultsToLineRate) {
+  Experiment exp(TinyConfig(Scheme::kEcmp));
+  EXPECT_EQ(exp.qp_config().fixed_rate, Rate::Gbps(100));
+}
+
+TEST(ExperimentConfigTest, ThemisQueueCapacitySizedFromLastHop) {
+  ExperimentConfig config = TinyConfig(Scheme::kThemis);
+  Experiment exp(config);
+  // Capacity = ceil(BW * RTT_last * F / MTU) with RTT_last ~ 2 us + ser.
+  const size_t capacity = exp.themis()->d_hooks()[0]->config().queue_capacity;
+  EXPECT_GE(capacity, 25u);
+  EXPECT_LE(capacity, 40u);
+}
+
+TEST(ExperimentTelemetryTest, FlowCompletionTimesMatchFlows) {
+  Experiment exp(TinyConfig(Scheme::kThemis));
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, {{0, 4, 8, 12}}, 1 << 20);
+  ASSERT_TRUE(result.all_done);
+  const auto times = exp.FlowCompletionTimesMs();
+  EXPECT_EQ(times.size(), 4u);  // one flow per ring hop
+  for (double ms : times) {
+    EXPECT_GT(ms, 0.0);
+    EXPECT_LE(ms, ToMilliseconds(result.tail_completion));
+  }
+}
+
+TEST(ExperimentTelemetryTest, SpineDataBytesCoversAllSpines) {
+  Experiment exp(TinyConfig(Scheme::kThemis));
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, {{0, 4, 8, 12}}, 1 << 20);
+  ASSERT_TRUE(result.all_done);
+  const auto loads = exp.SpineDataBytes();
+  ASSERT_EQ(loads.size(), 4u);
+  for (uint64_t load : loads) {
+    EXPECT_GT(load, 0u);
+  }
+}
+
+TEST(ExperimentTelemetryTest, ThemisSpraysMoreEvenlyThanEcmp) {
+  auto balance = [](Scheme scheme) {
+    Experiment exp(TinyConfig(scheme));
+    auto result =
+        exp.RunCollective(CollectiveKind::kNeighborRing, {{0, 4, 8, 12}, {1, 5, 9, 13}},
+                          2 << 20, 10 * kSecond);
+    EXPECT_TRUE(result.all_done);
+    return exp.SprayBalanceIndex();
+  };
+  const double themis_balance = balance(Scheme::kThemis);
+  const double ecmp_balance = balance(Scheme::kEcmp);
+  EXPECT_GT(themis_balance, 0.99);  // deterministic PSN spraying: near-perfect
+  EXPECT_LT(ecmp_balance, themis_balance);
+}
+
+TEST(ExperimentTelemetryTest, BalanceIndexEdgeCases) {
+  // No traffic at all: defined as 1.0.
+  Experiment exp(TinyConfig(Scheme::kEcmp));
+  EXPECT_DOUBLE_EQ(exp.SprayBalanceIndex(), 1.0);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,294 @@
+// End-to-end integration tests: the paper's qualitative claims must hold on
+// scaled-down versions of its experiments.
+//
+//  * Spraying + commodity NIC-SR => spurious retransmissions + rate cuts
+//    with zero actual loss (Section 2.2 / Fig. 1).
+//  * Themis blocks the invalid NACKs, eliminating spurious retransmissions
+//    and slow starts (Section 3 / Fig. 5 ordering Themis < AR, ECMP).
+//  * Real loss is still recovered (valid NACKs pass; compensation works).
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/topo/fat_tree.h"
+
+namespace themis {
+namespace {
+
+// Fig. 1 style: 2 racks x 4 hosts, 4 spines, 100G. Ring groups arranged so
+// every hop crosses racks (hosts are ToR-major: 0-3 rack 0, 4-7 rack 1).
+ExperimentConfig MotivationConfig(Scheme scheme) {
+  ExperimentConfig config;
+  config.num_tors = 2;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.transport = TransportKind::kNicSr;
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 300 * kMicrosecond;
+  config.dcqcn_td = 4 * kMicrosecond;
+  // Realistic multi-path delay variation so spraying reorders packets even
+  // when queues are shallow (the paper's "multi-path delay variation").
+  config.fabric_delay_skew = 200 * kNanosecond;
+  return config;
+}
+
+const std::vector<std::vector<int>> kCrossRackRings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
+constexpr uint64_t kMotivationBytes = 4 << 20;
+
+TEST(MotivationIntegrationTest, SprayingWithNicSrCausesSpuriousRetransmissions) {
+  Experiment exp(MotivationConfig(Scheme::kRandomSpray));
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                  kMotivationBytes, 100 * kMillisecond);
+  ASSERT_TRUE(result.all_done);
+
+  // No packet was actually lost...
+  EXPECT_EQ(exp.TotalPortDrops(), 0u);
+  // ...yet NACKs flowed freely, causing spurious retransmissions and rate
+  // cuts. (The exact retransmission share depends on where the NACK-cut /
+  // reordering feedback loop settles; the qualitative claim is spurious
+  // NACK traffic with zero loss.)
+  EXPECT_GT(exp.TotalNacksReceived(), 100u);
+  EXPECT_GT(exp.AggregateRetransmissionRatio(), 0.003);
+}
+
+TEST(MotivationIntegrationTest, IdealTransportOutperformsNicSrUnderSpraying) {
+  auto completion = [](TransportKind transport) {
+    ExperimentConfig config = MotivationConfig(Scheme::kRandomSpray);
+    config.transport = transport;
+    Experiment exp(config);
+    auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                    kMotivationBytes, 100 * kMillisecond);
+    EXPECT_TRUE(result.all_done);
+    return result.tail_completion;
+  };
+  const TimePs nic_sr = completion(TransportKind::kNicSr);
+  const TimePs ideal = completion(TransportKind::kIdeal);
+  EXPECT_LT(ideal, nic_sr);
+}
+
+TEST(MotivationIntegrationTest, GoBackNDegradesWorstUnderSpraying) {
+  auto rtx_ratio = [](TransportKind transport) {
+    ExperimentConfig config = MotivationConfig(Scheme::kRandomSpray);
+    config.transport = transport;
+    Experiment exp(config);
+    auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                    kMotivationBytes, 400 * kMillisecond);
+    EXPECT_TRUE(result.all_done);
+    return exp.AggregateRetransmissionRatio();
+  };
+  EXPECT_GT(rtx_ratio(TransportKind::kGoBackN), rtx_ratio(TransportKind::kNicSr));
+}
+
+TEST(ThemisIntegrationTest, BlocksInvalidNacksAndEliminatesSpuriousRtx) {
+  Experiment exp(MotivationConfig(Scheme::kThemis));
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                  kMotivationBytes, 100 * kMillisecond);
+  ASSERT_TRUE(result.all_done);
+  ASSERT_NE(exp.themis(), nullptr);
+
+  const ThemisDStats themis_stats = exp.themis()->AggregateDStats();
+  EXPECT_EQ(exp.TotalPortDrops(), 0u);
+  EXPECT_GT(themis_stats.nacks_blocked, 0u);           // OOO did occur
+  EXPECT_EQ(exp.TotalNacksReceived(), 0u);             // none reached senders
+  EXPECT_EQ(themis_stats.compensated_nacks, 0u);       // nothing was lost
+  EXPECT_DOUBLE_EQ(exp.AggregateRetransmissionRatio(), 0.0);
+}
+
+TEST(ThemisIntegrationTest, FasterThanNaiveSprayingAndEcmp) {
+  auto completion = [](Scheme scheme) {
+    Experiment exp(MotivationConfig(scheme));
+    auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                    kMotivationBytes, 400 * kMillisecond);
+    EXPECT_TRUE(result.all_done) << SchemeName(scheme);
+    return result.tail_completion;
+  };
+  const TimePs themis_time = completion(Scheme::kThemis);
+  EXPECT_LT(themis_time, completion(Scheme::kRandomSpray));
+  EXPECT_LT(themis_time, completion(Scheme::kEcmp));
+}
+
+TEST(ThemisIntegrationTest, RecoversRealLossThroughValidNacks) {
+  // Blackhole one ToR uplink for a short window mid-transfer: packets on
+  // that path are genuinely lost. The collective must still complete —
+  // valid NACKs pass Eq. 3, and NACKs blocked before the loss was provable
+  // are regenerated by compensation (or recovered by RTO).
+  ExperimentConfig config = MotivationConfig(Scheme::kThemis);
+  Experiment exp(config);
+  // Fail spine0's *only* downlink towards rack 1 (ToRs route around failed
+  // equal-cost uplinks, so to create silent loss the failure must hit a
+  // choke point). Spine ports are in ToR order: port 1 faces tor1.
+  Switch* spine0 = exp.topology().switches[2];
+  ASSERT_EQ(spine0->name(), "spine0");
+  exp.sim().Schedule(30 * kMicrosecond, [spine0] { spine0->port(1)->set_failed(true); });
+  exp.sim().Schedule(40 * kMicrosecond, [spine0] { spine0->port(1)->set_failed(false); });
+
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                  kMotivationBytes, 2000 * kMillisecond);
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GT(spine0->stats().no_route_drops, 0u);
+  // Loss was repaired by retransmission, not ignored.
+  EXPECT_GT(exp.TotalRtxBytes(), 0u);
+  // All receivers got every byte exactly once (reliable delivery).
+  for (int rank = 0; rank < exp.host_count(); ++rank) {
+    for (const ReceiverQp* qp : exp.host(rank)->receiver_qps()) {
+      EXPECT_EQ(qp->stats().messages_delivered, 1u);
+    }
+  }
+}
+
+TEST(ThemisIntegrationTest, EcmpTrafficTriggersNoBlocking) {
+  // With Themis installed but flows pinned by... the spray policy IS the
+  // deployment, so instead check: intra-rack flows (never sprayed) produce
+  // no Themis state and no blocking.
+  Experiment exp(MotivationConfig(Scheme::kThemis));
+  // Ring entirely inside rack 0: hosts 0..3.
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, {{0, 1, 2, 3}},
+                                  kMotivationBytes, 100 * kMillisecond);
+  ASSERT_TRUE(result.all_done);
+  const ThemisDStats stats = exp.themis()->AggregateDStats();
+  EXPECT_EQ(stats.flows_created, 0u);
+  EXPECT_EQ(stats.nacks_blocked, 0u);
+}
+
+// Fig. 5 shape at reduced scale: Themis beats AR and ECMP on tail CCT.
+struct SchemeResult {
+  TimePs completion;
+  double rtx_ratio;
+};
+
+SchemeResult RunFig5Mini(Scheme scheme, CollectiveKind kind) {
+  ExperimentConfig config;
+  config.num_tors = 4;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.transport = TransportKind::kNicSr;
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 55 * kMicrosecond;
+  config.dcqcn_td = 50 * kMicrosecond;
+  Experiment exp(config);
+  auto groups = exp.MakeCrossRackGroups(4);
+  auto result = exp.RunCollective(kind, groups, 2 << 20, 1000 * kMillisecond);
+  EXPECT_TRUE(result.all_done) << SchemeName(scheme);
+  return SchemeResult{result.tail_completion, exp.AggregateRetransmissionRatio()};
+}
+
+TEST(Fig5IntegrationTest, AllreduceThemisBeatsAdaptiveRoutingAndEcmp) {
+  const SchemeResult themis_r = RunFig5Mini(Scheme::kThemis, CollectiveKind::kAllreduce);
+  const SchemeResult ar = RunFig5Mini(Scheme::kAdaptiveRouting, CollectiveKind::kAllreduce);
+  const SchemeResult ecmp = RunFig5Mini(Scheme::kEcmp, CollectiveKind::kAllreduce);
+  EXPECT_LT(themis_r.completion, ar.completion);
+  EXPECT_LT(themis_r.completion, ecmp.completion);
+  EXPECT_LT(themis_r.rtx_ratio, 0.01);
+  EXPECT_GT(ar.rtx_ratio, themis_r.rtx_ratio);
+}
+
+TEST(Fig5IntegrationTest, AlltoallThemisBeatsAdaptiveRouting) {
+  const SchemeResult themis_r = RunFig5Mini(Scheme::kThemis, CollectiveKind::kAlltoall);
+  const SchemeResult ar = RunFig5Mini(Scheme::kAdaptiveRouting, CollectiveKind::kAlltoall);
+  EXPECT_LT(themis_r.completion, ar.completion);
+}
+
+TEST(FailureIntegrationTest, ThemisFallsBackToEcmpAndStillCompletes) {
+  Experiment exp(MotivationConfig(Scheme::kThemis));
+  // Fail one ToR uplink mid-flight and trigger the Section 6 fallback.
+  exp.sim().Schedule(50 * kMicrosecond, [&exp] {
+    Switch* tor = exp.topology().tors[0];
+    // The first spine-facing port (hosts occupy the first 4 ports).
+    tor->port(4)->set_failed(true);
+    exp.themis()->HandleLinkFailure();
+  });
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                  kMotivationBytes, 2000 * kMillisecond);
+  ASSERT_TRUE(result.all_done);
+  EXPECT_TRUE(exp.themis()->degraded());
+  for (Switch* tor : exp.topology().tors) {
+    EXPECT_STREQ(tor->data_lb()->name(), "ecmp");
+  }
+}
+
+// End-to-end Themis on a *multi-tier* fabric: k=4 fat-tree, RNIC hosts,
+// sport-rewrite spraying via the PathMap, NIC-SR transport, core-tier delay
+// skew to force reordering. The full §3 pipeline must hold: spraying at the
+// edge, OOO at the receivers, invalid NACKs blocked at the destination edge
+// switch, zero spurious retransmissions.
+TEST(MultiTierIntegrationTest, ThemisOnFatTreeBlocksSprayNacks) {
+  Simulator sim(42);
+  Network net(&sim);
+  std::vector<RnicHost*> hosts;
+  FatTreeConfig ft_config;
+  ft_config.k = 4;
+  ft_config.host_link = LinkSpec{Rate::Gbps(100), 1 * kMicrosecond, 8 << 20};
+  ft_config.fabric_link = LinkSpec{Rate::Gbps(100), 1 * kMicrosecond, 8 << 20};
+  ft_config.core_delay_skew = 300 * kNanosecond;
+  ft_config.ecn = EcnProfile{.kmin_bytes = 25 * 1024, .kmax_bytes = 100 * 1024, .pmax = 0.2,
+                             .enabled = true};
+  Topology topo = BuildFatTree(net, ft_config, [&hosts](Network& n, int, const std::string& name) {
+    RnicHost* host = n.MakeNode<RnicHost>(name);
+    hosts.push_back(host);
+    return host;
+  });
+
+  ThemisDeploymentConfig themis_config;
+  themis_config.spray_mode = SprayMode::kSportRewrite;
+  themis_config.ecmp_stages = {EcmpStage{.shift = 0, .group_size = 2},
+                               EcmpStage{.shift = 8, .group_size = 2}};
+  themis_config.themis_d.num_paths = 4;
+  themis_config.themis_d.queue_capacity = 64;
+  auto deployment = ThemisDeployment::Install(topo, themis_config);
+
+  QpConfig qp_config;
+  qp_config.transport = TransportKind::kNicSr;
+  qp_config.cc = CcKind::kDcqcn;
+  qp_config.dcqcn.line_rate = Rate::Gbps(100);
+  qp_config.dcqcn.rate_increase_period = 10 * kMicrosecond;
+  qp_config.dcqcn.rate_decrease_interval = 200 * kMicrosecond;
+  ConnectionManager connections(hosts, qp_config);
+
+  // Every host sends 2 MiB to its cross-pod partner (i+8 mod 16).
+  int remaining = 16;
+  for (int i = 0; i < 16; ++i) {
+    Channel& channel = connections.GetChannel(i, (i + 8) % 16);
+    channel.rx->ExpectMessage(2 << 20, nullptr);
+    channel.tx->PostMessage(2 << 20, [&sim, &remaining] {
+      if (--remaining == 0) {
+        sim.Stop();
+      }
+    });
+  }
+  sim.RunUntil(kSecond);
+  ASSERT_EQ(remaining, 0) << "cross-pod transfers did not finish";
+
+  uint64_t sender_nacks = 0;
+  uint64_t rtx = 0;
+  for (RnicHost* host : hosts) {
+    for (const SenderQp* qp : host->sender_qps()) {
+      sender_nacks += qp->stats().nacks_received;
+      rtx += qp->stats().rtx_packets;
+    }
+  }
+  const ThemisDStats stats = deployment->AggregateDStats();
+  EXPECT_GT(stats.nacks_seen, 0u);       // skew did reorder across core paths
+  EXPECT_EQ(stats.nacks_forwarded_valid, 0u);  // nothing was lost
+  EXPECT_EQ(sender_nacks, stats.compensated_nacks);  // only compensations pass
+  EXPECT_EQ(rtx, 0u + sender_nacks);     // at most one rtx per (rare) false comp
+  EXPECT_GT(deployment->s_hooks()[0]->stats().rewrites, 0u);
+}
+
+TEST(DeterminismIntegrationTest, IdenticalSeedsIdenticalTraces) {
+  auto run = [] {
+    Experiment exp(MotivationConfig(Scheme::kThemis));
+    auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kCrossRackRings,
+                                    1 << 20, 100 * kMillisecond);
+    EXPECT_TRUE(result.all_done);
+    return std::make_tuple(result.tail_completion, exp.TotalDataBytesSent(),
+                           exp.themis()->AggregateDStats().nacks_blocked);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,278 @@
+// Unit + property tests for ECMP hashing (GF(2) linearity) and the
+// load-balancing policies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/lb/ecmp_hash.h"
+#include "src/lb/policies.h"
+#include "src/net/network.h"
+
+namespace themis {
+namespace {
+
+// --- Hash properties ---------------------------------------------------------
+
+TEST(EcmpHashTest, Deterministic) {
+  EcmpTuple t{.src = 1, .dst = 2, .sport = 3, .dport = 4};
+  EXPECT_EQ(EcmpHash(t), EcmpHash(t));
+}
+
+TEST(EcmpHashTest, SensitiveToEveryField) {
+  EcmpTuple base{.src = 1, .dst = 2, .sport = 3, .dport = 4};
+  EcmpTuple t = base;
+  t.src = 9;
+  EXPECT_NE(EcmpHash(base), EcmpHash(t));
+  t = base;
+  t.dst = 9;
+  EXPECT_NE(EcmpHash(base), EcmpHash(t));
+  t = base;
+  t.sport = 9;
+  EXPECT_NE(EcmpHash(base), EcmpHash(t));
+  t = base;
+  t.dport = 9;
+  EXPECT_NE(EcmpHash(base), EcmpHash(t));
+}
+
+// The property the PathMap (Fig. 3) is built on.
+TEST(EcmpHashTest, SportDeltaLinearityProperty) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    EcmpTuple t;
+    t.src = static_cast<uint32_t>(rng.Next());
+    t.dst = static_cast<uint32_t>(rng.Next());
+    t.sport = static_cast<uint16_t>(rng.Next());
+    t.dport = static_cast<uint32_t>(rng.Next());
+    const auto delta = static_cast<uint16_t>(rng.Next());
+
+    EcmpTuple shifted = t;
+    shifted.sport = t.sport ^ delta;
+    EXPECT_EQ(EcmpHash(shifted), EcmpHash(t) ^ SportDeltaHash(delta));
+  }
+}
+
+TEST(EcmpHashTest, FullGf2LinearityOverWholeTuple) {
+  // crc(a ^ b) == crc(a) ^ crc(b) for equal-length messages with init 0.
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint8_t a[14];
+    uint8_t b[14];
+    uint8_t x[14];
+    for (int i = 0; i < 14; ++i) {
+      a[i] = static_cast<uint8_t>(rng.Next());
+      b[i] = static_cast<uint8_t>(rng.Next());
+      x[i] = a[i] ^ b[i];
+    }
+    EXPECT_EQ(Crc32::Hash(x, 14), Crc32::Hash(a, 14) ^ Crc32::Hash(b, 14));
+  }
+}
+
+TEST(EcmpHashTest, BucketPowerOfTwoUsesMask) {
+  EXPECT_EQ(EcmpBucket(0xABCD, 16), 0xABCDu & 15u);
+  EXPECT_EQ(EcmpBucket(0xABCD, 1), 0u);
+}
+
+TEST(EcmpHashTest, BucketNonPowerOfTwoUsesModulo) {
+  EXPECT_EQ(EcmpBucket(100, 7), 100u % 7u);
+}
+
+TEST(EcmpHashTest, BucketsRoughlyUniform) {
+  constexpr uint32_t kBuckets = 16;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint32_t i = 0; i < 16000; ++i) {
+    EcmpTuple t{.src = i * 7919, .dst = i ^ 0x5A5A5A5A, .sport = static_cast<uint16_t>(i),
+                .dport = i * 31};
+    ++counts[EcmpBucket(EcmpHash(t), kBuckets)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, 1000, 150);
+  }
+}
+
+// --- Policy tests ------------------------------------------------------------
+
+class NullNode : public Node {
+ public:
+  NullNode(Simulator* sim, int id, std::string name = "n")
+      : Node(sim, id, NodeKind::kSwitch, std::move(name)) {}
+  void ReceivePacket(const Packet&, int) override {}
+};
+
+struct PolicyHarness {
+  Simulator sim;
+  Network net{&sim};
+  NullNode* sw = nullptr;
+  NullNode* peer = nullptr;
+  std::vector<Port*> candidates;
+  LbContext ctx;
+
+  explicit PolicyHarness(int num_ports) {
+    sw = net.MakeNode<NullNode>("sw");
+    peer = net.MakeNode<NullNode>("peer");
+    for (int i = 0; i < num_ports; ++i) {
+      DuplexLink link = net.Connect(sw, peer, LinkSpec{});
+      candidates.push_back(sw->port(link.a.port));
+    }
+    ctx = LbContext{.switch_salt = 0x1234, .hash_shift = 0, .now = 0, .rng = &sim.rng()};
+  }
+  std::span<Port* const> span() const { return {candidates.data(), candidates.size()}; }
+};
+
+TEST(EcmpLbTest, SameFlowAlwaysSamePort) {
+  PolicyHarness h(8);
+  EcmpLb lb;
+  Packet pkt = MakeDataPacket(42, 1, 2, 0, 1000, 0x1111);
+  const size_t first = lb.Select(pkt, h.span(), h.ctx);
+  for (uint32_t psn = 1; psn < 200; ++psn) {
+    pkt.psn = psn;
+    EXPECT_EQ(lb.Select(pkt, h.span(), h.ctx), first);
+  }
+}
+
+TEST(EcmpLbTest, DifferentFlowsSpread) {
+  PolicyHarness h(8);
+  EcmpLb lb;
+  std::set<size_t> used;
+  for (uint32_t flow = 0; flow < 64; ++flow) {
+    Packet pkt = MakeDataPacket(flow, 1, 2, 0, 1000, static_cast<uint16_t>(flow * 131));
+    used.insert(lb.Select(pkt, h.span(), h.ctx));
+  }
+  EXPECT_GT(used.size(), 4u);
+}
+
+TEST(RandomSprayLbTest, CoversAllPorts) {
+  PolicyHarness h(8);
+  RandomSprayLb lb;
+  Packet pkt = MakeDataPacket(1, 1, 2, 0, 1000, 0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[lb.Select(pkt, h.span(), h.ctx)];
+  }
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [port, count] : counts) {
+    EXPECT_NEAR(count, 1000, 200);
+  }
+}
+
+TEST(AdaptiveRoutingLbTest, PicksLeastLoadedPort) {
+  PolicyHarness h(4);
+  // Load ports 0..2 with queued packets; port 3 stays empty.
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 5; ++i) {
+      h.candidates[static_cast<size_t>(p)]->Send(MakeDataPacket(1, 0, 1, 0, 1436, 0));
+    }
+  }
+  AdaptiveRoutingLb lb;
+  Packet pkt = MakeDataPacket(2, 1, 2, 0, 1000, 0);
+  EXPECT_EQ(lb.Select(pkt, h.span(), h.ctx), 3u);
+}
+
+TEST(AdaptiveRoutingLbTest, TieBreaksAcrossEqualPorts) {
+  PolicyHarness h(4);
+  AdaptiveRoutingLb lb;
+  Packet pkt = MakeDataPacket(2, 1, 2, 0, 1000, 0);
+  std::set<size_t> used;
+  for (int i = 0; i < 400; ++i) {
+    used.insert(lb.Select(pkt, h.span(), h.ctx));
+  }
+  EXPECT_EQ(used.size(), 4u);  // all-empty queues: random among all
+}
+
+TEST(FlowletLbTest, SticksWithinGap) {
+  PolicyHarness h(8);
+  FlowletLb lb(/*flowlet_gap=*/50 * kMicrosecond);
+  Packet pkt = MakeDataPacket(9, 1, 2, 0, 1000, 0);
+  h.ctx.now = 0;
+  const size_t first = lb.Select(pkt, h.span(), h.ctx);
+  for (int i = 1; i < 100; ++i) {
+    h.ctx.now = static_cast<TimePs>(i) * kMicrosecond;  // gaps of 1 us << 50 us
+    EXPECT_EQ(lb.Select(pkt, h.span(), h.ctx), first);
+  }
+  EXPECT_EQ(lb.flowlet_count(), 1u);
+}
+
+TEST(FlowletLbTest, RepicksAfterIdleGap) {
+  PolicyHarness h(8);
+  FlowletLb lb(/*flowlet_gap=*/50 * kMicrosecond);
+  Packet pkt = MakeDataPacket(9, 1, 2, 0, 1000, 0);
+  uint64_t repicks = 0;
+  TimePs now = 0;
+  for (int i = 0; i < 50; ++i) {
+    h.ctx.now = now;
+    lb.Select(pkt, h.span(), h.ctx);
+    now += 100 * kMicrosecond;  // every packet exceeds the gap
+  }
+  repicks = lb.flowlet_count();
+  EXPECT_EQ(repicks, 50u);
+}
+
+TEST(PsnSprayLbTest, DeterministicPerPsn) {
+  PolicyHarness h(8);
+  PsnSprayLb lb;
+  Packet pkt = MakeDataPacket(3, 1, 2, 0, 1000, 0x2222);
+  for (uint32_t psn = 0; psn < 64; ++psn) {
+    pkt.psn = psn;
+    const size_t a = lb.Select(pkt, h.span(), h.ctx);
+    const size_t b = lb.Select(pkt, h.span(), h.ctx);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PsnSprayLbTest, ImplementsEquationOne) {
+  // path_i = (PSN mod N + P_base) mod N: consecutive PSNs walk consecutive
+  // paths cyclically.
+  PolicyHarness h(8);
+  PsnSprayLb lb;
+  Packet pkt = MakeDataPacket(3, 1, 2, 0, 1000, 0x2222);
+  pkt.psn = 0;
+  const size_t base = lb.Select(pkt, h.span(), h.ctx);
+  for (uint32_t psn = 0; psn < 64; ++psn) {
+    pkt.psn = psn;
+    EXPECT_EQ(lb.Select(pkt, h.span(), h.ctx), (base + psn) % 8);
+  }
+}
+
+TEST(PsnSprayLbTest, SamePsnClassSamePath) {
+  // Eq. 3's premise: PSNs congruent mod N share a path.
+  PolicyHarness h(8);
+  PsnSprayLb lb;
+  Packet pkt = MakeDataPacket(3, 1, 2, 0, 1000, 0x2222);
+  for (uint32_t cls = 0; cls < 8; ++cls) {
+    pkt.psn = cls;
+    const size_t path = lb.Select(pkt, h.span(), h.ctx);
+    for (uint32_t k = 1; k < 16; ++k) {
+      pkt.psn = cls + 8 * k;
+      EXPECT_EQ(lb.Select(pkt, h.span(), h.ctx), path);
+    }
+  }
+}
+
+TEST(PsnSprayLbTest, UniformAcrossPaths) {
+  PolicyHarness h(8);
+  PsnSprayLb lb;
+  Packet pkt = MakeDataPacket(3, 1, 2, 0, 1000, 0x2222);
+  std::map<size_t, int> counts;
+  for (uint32_t psn = 0; psn < 800; ++psn) {
+    pkt.psn = psn;
+    ++counts[lb.Select(pkt, h.span(), h.ctx)];
+  }
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [port, count] : counts) {
+    EXPECT_EQ(count, 100);  // exactly uniform, not just statistically
+  }
+}
+
+TEST(MakeLoadBalancerTest, FactoryProducesAllKinds) {
+  for (LbKind kind : {LbKind::kEcmp, LbKind::kRandomSpray, LbKind::kAdaptive, LbKind::kFlowlet,
+                      LbKind::kPsnSpray}) {
+    auto lb = MakeLoadBalancer(kind);
+    ASSERT_NE(lb, nullptr);
+    EXPECT_STREQ(lb->name(), LbKindName(kind));
+  }
+}
+
+}  // namespace
+}  // namespace themis

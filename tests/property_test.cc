@@ -1,0 +1,267 @@
+// Property-based and parameterized sweeps over the system's invariants:
+//
+//  * PsnQueue behaves exactly like a reference model for any op sequence.
+//  * NIC-SR receiver invariants hold under arbitrary bounded reordering.
+//  * Eq. 3 <=> "same egress port" for the PSN-spray policy, for every N.
+//  * Reliability: every (scheme x transport) combination delivers every
+//    message exactly once, even with random link-failure windows.
+//  * DCQCN monotonicity in TD.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+#include <tuple>
+
+#include "src/core/experiment.h"
+#include "src/themis/psn_queue.h"
+
+namespace themis {
+namespace {
+
+// --- PsnQueue vs reference model ----------------------------------------------
+
+class PsnQueueModelTest : public ::testing::TestWithParam<std::tuple<size_t, bool>> {};
+
+// Reference implementation: plain deque of full PSNs with the same
+// eviction + scan-consume semantics.
+class ReferenceQueue {
+ public:
+  explicit ReferenceQueue(size_t capacity) : capacity_(capacity) {}
+  void Push(uint32_t psn) {
+    if (entries_.size() == capacity_) {
+      entries_.pop_front();
+    }
+    entries_.push_back(psn);
+  }
+  std::optional<uint32_t> PopUntilGreater(uint32_t epsn) {
+    while (!entries_.empty()) {
+      const uint32_t psn = entries_.front();
+      entries_.pop_front();
+      if (PsnGt(psn, epsn)) {
+        return psn;
+      }
+    }
+    return std::nullopt;
+  }
+  bool Contains(uint32_t psn) const {
+    for (uint32_t entry : entries_) {
+      if (entry == psn) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<uint32_t> entries_;
+};
+
+TEST_P(PsnQueueModelTest, MatchesReferenceOnRandomOps) {
+  const auto [capacity, truncate] = GetParam();
+  Rng rng(capacity * 31 + (truncate ? 7 : 0));
+  PsnQueue queue(capacity, truncate);
+  ReferenceQueue reference(capacity);
+
+  // Walk a PSN cursor forward (crossing the 24-bit wrap) and interleave
+  // pushes near the cursor with scans. Cursor drift is kept slow enough that
+  // every live entry stays within the +/-127 truncation window of any scan
+  // reference — the domain the 1-byte encoding is specified for (capacity is
+  // BDP-sized in deployment, so entries never get stale enough to alias).
+  uint32_t cursor = kPsnMask - 500;  // force wraparound mid-test
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t dice = rng.Below(10);
+    if (dice < 7) {
+      const uint32_t psn = PsnAdd(cursor, static_cast<int64_t>(rng.Below(40)));
+      queue.Push(psn);
+      reference.Push(psn);
+      if (rng.Below(3) == 0) {
+        cursor = PsnAdd(cursor, 1);
+      }
+    } else if (dice < 9) {
+      const uint32_t epsn = PsnAdd(cursor, static_cast<int64_t>(rng.Below(40)) - 10);
+      EXPECT_EQ(queue.PopUntilGreater(epsn), reference.PopUntilGreater(epsn))
+          << "op " << op << " epsn " << epsn;
+    } else {
+      const uint32_t probe = PsnAdd(cursor, static_cast<int64_t>(rng.Below(50)) - 10);
+      EXPECT_EQ(queue.Contains(probe, cursor), reference.Contains(probe))
+          << "op " << op << " probe " << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacityAndEncoding, PsnQueueModelTest,
+                         ::testing::Combine(::testing::Values<size_t>(4, 16, 64, 100),
+                                            ::testing::Bool()),
+                         [](const auto& info) {
+                           return "cap" + std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) ? "_trunc" : "_full");
+                         });
+
+// --- NIC-SR receiver under bounded reordering -----------------------------------
+
+class NicSrReorderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NicSrReorderTest, InvariantsUnderRandomPermutation) {
+  const int window = GetParam();
+  Simulator sim;
+  Network net(&sim);
+  auto* a = net.MakeNode<RnicHost>("a");
+  auto* b = net.MakeNode<RnicHost>("b");
+  net.Connect(a, b, LinkSpec{});
+  QpConfig config;
+  config.transport = TransportKind::kNicSr;
+  config.cc = CcKind::kFixedRate;
+  ReceiverQp* rx = b->CreateReceiverQp(1, a->id(), config);
+
+  // Generate a delivery order with displacement bounded by `window`.
+  constexpr uint32_t kCount = 600;
+  Rng rng(static_cast<uint64_t>(window));
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> pending;
+  uint32_t next = 0;
+  while (order.size() < kCount) {
+    if (pending.size() < static_cast<size_t>(window) && next < kCount) {
+      pending.push_back(next++);
+    } else {
+      const size_t pick = static_cast<size_t>(rng.Below(pending.size()));
+      order.push_back(pending[pick]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+
+  uint64_t nack_opportunities = 0;  // distinct ePSN stalls
+  for (uint32_t psn : order) {
+    const uint32_t epsn_before = rx->epsn();
+    b->ReceivePacket(MakeDataPacket(1, a->id(), b->id(), psn, 100, 0), 0);
+    if (PsnGt(psn, epsn_before)) {
+      ++nack_opportunities;
+    }
+  }
+
+  // Every packet eventually delivered in order, none duplicated.
+  EXPECT_EQ(rx->epsn(), kCount);
+  EXPECT_EQ(rx->in_order_bytes(), 100ull * kCount);
+  EXPECT_EQ(rx->stats().duplicates, 0u);
+  // One NACK per ePSN at most: never more NACKs than OOO arrivals, and with
+  // any reordering at all there is at least one.
+  EXPECT_LE(rx->stats().nacks_sent, rx->stats().ooo_arrivals);
+  if (window > 1) {
+    EXPECT_GT(rx->stats().nacks_sent, 0u);
+  }
+  EXPECT_LE(rx->stats().nacks_sent, nack_opportunities);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, NicSrReorderTest, ::testing::Values(1, 2, 4, 8, 32, 128),
+                         ::testing::PrintToStringParamName());
+
+// --- Eq. 3 <=> same path, for every N -------------------------------------------
+
+class Eq3PropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Eq3PropertyTest, ValidityEqualsSamePath) {
+  const uint32_t n = GetParam();
+  Rng rng(n);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const uint32_t base = static_cast<uint32_t>(rng.Below(n));
+    const uint32_t tpsn = static_cast<uint32_t>(rng.Next()) & kPsnMask;
+    const uint32_t epsn = static_cast<uint32_t>(rng.Next()) & kPsnMask;
+    const uint32_t path_ooo = (tpsn % n + base) % n;       // Eq. 2
+    const uint32_t path_expected = (epsn % n + base) % n;  // Eq. 2
+    EXPECT_EQ(path_ooo == path_expected, tpsn % n == epsn % n);  // Eq. 3
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PathCounts, Eq3PropertyTest,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u, 256u),
+                         ::testing::PrintToStringParamName());
+
+// --- Reliability matrix: scheme x transport --------------------------------------
+
+class ReliabilityMatrixTest
+    : public ::testing::TestWithParam<std::tuple<Scheme, TransportKind>> {};
+
+TEST_P(ReliabilityMatrixTest, EveryMessageDeliveredExactlyOnceUnderFailures) {
+  const auto [scheme, transport] = GetParam();
+  ExperimentConfig config;
+  config.num_tors = 2;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.transport = transport;
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 200 * kMicrosecond;
+  config.fabric_delay_skew = 100 * kNanosecond;
+  Experiment exp(config);
+
+  // Random 5 us blackhole windows on spine downlinks: genuine loss.
+  Rng rng(static_cast<uint64_t>(scheme) * 10 + static_cast<uint64_t>(transport));
+  for (int i = 0; i < 3; ++i) {
+    Switch* spine = exp.topology().switches[2 + rng.Below(4)];
+    const int port = static_cast<int>(rng.Below(2));
+    const TimePs start = static_cast<TimePs>(10 + rng.Below(100)) * kMicrosecond;
+    exp.sim().Schedule(start, [spine, port] { spine->port(port)->set_failed(true); });
+    exp.sim().Schedule(start + 5 * kMicrosecond,
+                       [spine, port] { spine->port(port)->set_failed(false); });
+  }
+
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, {{0, 4, 1, 5}, {2, 6, 3, 7}},
+                                  2 << 20, 10 * kSecond);
+  ASSERT_TRUE(result.all_done);
+  for (int rank = 0; rank < exp.host_count(); ++rank) {
+    for (const ReceiverQp* qp : exp.host(rank)->receiver_qps()) {
+      EXPECT_EQ(qp->stats().messages_delivered, 1u);
+    }
+    for (const SenderQp* qp : exp.host(rank)->sender_qps()) {
+      EXPECT_TRUE(qp->AllCompleted());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ReliabilityMatrixTest,
+    ::testing::Combine(::testing::Values(Scheme::kEcmp, Scheme::kRandomSpray,
+                                         Scheme::kAdaptiveRouting, Scheme::kFlowlet,
+                                         Scheme::kThemis),
+                       ::testing::Values(TransportKind::kNicSr, TransportKind::kGoBackN,
+                                         TransportKind::kIrn, TransportKind::kMultipath)),
+    [](const auto& info) {
+      std::string name = std::string(SchemeName(std::get<0>(info.param))) + "_" +
+                         TransportKindName(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// --- DCQCN TD monotonicity --------------------------------------------------------
+
+class DcqcnTdSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DcqcnTdSweepTest, DecreaseCountBoundedByTd) {
+  const int64_t td_us = GetParam();
+  Simulator sim;
+  DcqcnConfig config;
+  config.line_rate = Rate::Gbps(100);
+  config.rate_decrease_interval = td_us * kMicrosecond;
+  DcqcnCc cc(&sim, config);
+  // CNP storm: one per microsecond for 1 ms.
+  for (int i = 0; i < 1000; ++i) {
+    sim.Schedule(i * kMicrosecond, [&cc] { cc.OnCnp(); });
+  }
+  sim.RunUntil(kMillisecond);
+  // At most one decrease per TD window (+1 for the initial cut).
+  EXPECT_LE(cc.stats().rate_decreases, static_cast<uint64_t>(1000 / td_us + 1));
+  EXPECT_GE(cc.stats().rate_decreases, static_cast<uint64_t>(1000 / (td_us + 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(TdValues, DcqcnTdSweepTest, ::testing::Values(4, 10, 50, 200, 500),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace themis
