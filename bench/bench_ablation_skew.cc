@@ -9,75 +9,77 @@
 //     classifies away;
 //   * adaptive routing sits in between (it reorders by queue-chasing even
 //     at zero skew).
+//
+// The 15-point grid runs in parallel on a SweepRunner pool.
 
 #include "bench/bench_common.h"
 
 namespace themis {
 namespace {
 
+using benchutil::CaseResult;
 using benchutil::MessageBytes;
-using benchutil::ResultRow;
-using benchutil::Rows;
 
 const std::vector<std::vector<int>> kRings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
 
-void RunCase(benchmark::State& state, Scheme scheme, TimePs skew) {
+struct SkewCase {
+  Scheme scheme;
+  TimePs skew;
+};
+
+CaseResult RunCase(const SkewCase& c) {
   const uint64_t bytes = MessageBytes(8);
-  for (auto _ : state) {
-    ExperimentConfig config;
-    config.num_tors = 2;
-    config.num_spines = 4;
-    config.hosts_per_tor = 4;
-    config.link_rate = Rate::Gbps(100);
-    config.scheme = scheme;
-    config.transport = TransportKind::kNicSr;
-    config.cc = CcKind::kDcqcn;
-    config.dcqcn_ti = 10 * kMicrosecond;
-    config.dcqcn_td = 200 * kMicrosecond;
-    config.fabric_delay_skew = skew;
-    Experiment exp(config);
-    auto result =
-        exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
-    state.SetIterationTime(ToSeconds(result.tail_completion));
-    if (!result.all_done) {
-      state.SkipWithError("transfer did not finish");
-      return;
-    }
-    ResultRow row;
-    row.config = "skew=" + std::to_string(skew / kNanosecond) + "ns";
-    row.scheme = SchemeName(scheme);
-    row.completion_ms = ToMilliseconds(result.tail_completion);
-    row.rtx_ratio = exp.AggregateRetransmissionRatio();
-    row.nacks_to_sender = exp.TotalNacksReceived();
-    row.nacks_blocked =
-        exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
-    row.drops = exp.TotalPortDrops();
-    Rows().push_back(row);
+  CaseResult out;
+  out.name = std::string("Skew/") + SchemeName(c.scheme) + "/" +
+             std::to_string(c.skew / kNanosecond) + "ns";
+
+  ExperimentConfig config;
+  config.num_tors = 2;
+  config.num_spines = 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = c.scheme;
+  config.transport = TransportKind::kNicSr;
+  config.cc = CcKind::kDcqcn;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 200 * kMicrosecond;
+  config.fabric_delay_skew = c.skew;
+  Experiment exp(config);
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
+  if (!result.all_done) {
+    out.error = "transfer did not finish";
+    return out;
   }
+
+  out.ok = true;
+  out.sim_seconds = ToSeconds(result.tail_completion);
+  out.row.config = "skew=" + std::to_string(c.skew / kNanosecond) + "ns";
+  out.row.scheme = SchemeName(c.scheme);
+  out.row.completion_ms = ToMilliseconds(result.tail_completion);
+  out.row.rtx_ratio = exp.AggregateRetransmissionRatio();
+  out.row.nacks_to_sender = exp.TotalNacksReceived();
+  out.row.nacks_blocked =
+      exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
+  out.row.drops = exp.TotalPortDrops();
+  return out;
 }
 
 }  // namespace
 }  // namespace themis
 
-int main(int argc, char** argv) {
+int main() {
   using namespace themis;
+  std::vector<SkewCase> cases;
   for (TimePs skew : {0L, 50L, 100L, 200L, 400L}) {
     for (Scheme scheme : {Scheme::kRandomSpray, Scheme::kAdaptiveRouting, Scheme::kThemis}) {
-      const std::string name = std::string("Skew/") + SchemeName(scheme) + "/" +
-                               std::to_string(skew) + "ns";
-      const TimePs skew_ps = skew * kNanosecond;
-      benchmark::RegisterBenchmark(name.c_str(),
-                                   [scheme, skew_ps](benchmark::State& state) {
-                                     RunCase(state, scheme, skew_ps);
-                                   })
-          ->Iterations(1)
-          ->UseManualTime()
-          ->Unit(benchmark::kMillisecond);
+      cases.push_back(SkewCase{scheme, skew * kNanosecond});
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  SweepRunner runner;
+  std::printf("ablation_skew: %zu cases on %d threads\n", cases.size(), runner.threads());
+  auto results = runner.Map(cases, [](const SkewCase& c) { return RunCase(c); });
+  const int failures = benchutil::EmitCaseResults(results);
   benchutil::PrintSummary("Multi-path delay-variation sensitivity");
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

@@ -8,15 +8,17 @@
 //  * Truncated (1-byte) vs full PSN queue entries (Section 4).
 //  * Spray mode: ToR egress choice (2-tier) vs PathMap sport rewrite
 //    (multi-tier, Fig. 3).
+//
+// Each case is an independent simulation; the whole grid runs on a
+// SweepRunner pool and is printed in registration order.
 
 #include "bench/bench_common.h"
 
 namespace themis {
 namespace {
 
+using benchutil::CaseResult;
 using benchutil::MessageBytes;
-using benchutil::ResultRow;
-using benchutil::Rows;
 
 const std::vector<std::vector<int>> kRings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
 
@@ -44,71 +46,64 @@ void InjectLoss(Experiment& exp, TimePs window) {
                      [spine0] { spine0->port(1)->set_failed(false); });
 }
 
-void RunCase(benchmark::State& state, const std::string& label, ExperimentConfig config,
-             bool inject_loss) {
+struct AblationCase {
+  std::string name;
+  ExperimentConfig config;
+  bool inject_loss = false;
+};
+
+CaseResult RunCase(const AblationCase& c) {
   const uint64_t bytes = MessageBytes(8);
-  for (auto _ : state) {
-    Experiment exp(config);
-    if (inject_loss) {
-      InjectLoss(exp, 10 * kMicrosecond);
-    }
-    auto result =
-        exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
-    state.SetIterationTime(ToSeconds(result.tail_completion));
-    if (!result.all_done) {
-      state.SkipWithError("transfer did not finish");
-      return;
-    }
-    const ThemisDStats themis_stats =
-        exp.themis() != nullptr ? exp.themis()->AggregateDStats() : ThemisDStats{};
-    state.counters["timeouts"] = static_cast<double>(exp.TotalTimeouts());
-    state.counters["compensated"] = static_cast<double>(themis_stats.compensated_nacks);
-    state.counters["unmatched"] = static_cast<double>(themis_stats.nacks_forwarded_unmatched);
+  CaseResult out;
+  out.name = c.name;
 
-    ResultRow row;
-    row.config = inject_loss ? "with-loss" : "lossless";
-    row.scheme = label;
-    row.completion_ms = ToMilliseconds(result.tail_completion);
-    row.rtx_ratio = exp.AggregateRetransmissionRatio();
-    row.nacks_to_sender = exp.TotalNacksReceived();
-    row.nacks_blocked = themis_stats.nacks_blocked;
-    row.drops = exp.TotalPortDrops();
-    Rows().push_back(row);
+  Experiment exp(c.config);
+  if (c.inject_loss) {
+    InjectLoss(exp, 10 * kMicrosecond);
   }
-}
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
+  if (!result.all_done) {
+    out.error = "transfer did not finish";
+    return out;
+  }
 
-void Register(const std::string& name, ExperimentConfig config, bool inject_loss) {
-  benchmark::RegisterBenchmark(name.c_str(),
-                               [name, config, inject_loss](benchmark::State& state) {
-                                 RunCase(state, name, config, inject_loss);
-                               })
-      ->Iterations(1)
-      ->UseManualTime()
-      ->Unit(benchmark::kMillisecond);
+  const ThemisDStats themis_stats =
+      exp.themis() != nullptr ? exp.themis()->AggregateDStats() : ThemisDStats{};
+  out.ok = true;
+  out.sim_seconds = ToSeconds(result.tail_completion);
+  out.row.config = c.inject_loss ? "with-loss" : "lossless";
+  out.row.scheme = c.name;
+  out.row.completion_ms = ToMilliseconds(result.tail_completion);
+  out.row.rtx_ratio = exp.AggregateRetransmissionRatio();
+  out.row.nacks_to_sender = exp.TotalNacksReceived();
+  out.row.nacks_blocked = themis_stats.nacks_blocked;
+  out.row.drops = exp.TotalPortDrops();
+  return out;
 }
 
 }  // namespace
 }  // namespace themis
 
-int main(int argc, char** argv) {
+int main() {
   using namespace themis;
+  std::vector<AblationCase> cases;
 
   // Compensation on/off, with and without genuine loss.
   {
     ExperimentConfig with_comp = BaseConfig();
     ExperimentConfig no_comp = BaseConfig();
     no_comp.themis_compensation = false;
-    Register("Compensation/on/lossless", with_comp, /*inject_loss=*/false);
-    Register("Compensation/off/lossless", no_comp, /*inject_loss=*/false);
-    Register("Compensation/on/loss", with_comp, /*inject_loss=*/true);
-    Register("Compensation/off/loss", no_comp, /*inject_loss=*/true);
+    cases.push_back({"Compensation/on/lossless", with_comp, /*inject_loss=*/false});
+    cases.push_back({"Compensation/off/lossless", no_comp, /*inject_loss=*/false});
+    cases.push_back({"Compensation/on/loss", with_comp, /*inject_loss=*/true});
+    cases.push_back({"Compensation/off/loss", no_comp, /*inject_loss=*/true});
   }
 
   // PSN-queue expansion factor F.
   for (double f : {0.25, 0.5, 1.0, 1.5, 3.0}) {
     ExperimentConfig config = BaseConfig();
     config.themis_queue_expansion = f;
-    Register("QueueFactor/F=" + FormatDouble(f, 2), config, /*inject_loss=*/false);
+    cases.push_back({"QueueFactor/F=" + FormatDouble(f, 2), config, /*inject_loss=*/false});
   }
 
   // Truncated vs full PSN-queue entries.
@@ -116,8 +111,8 @@ int main(int argc, char** argv) {
     ExperimentConfig truncated = BaseConfig();
     ExperimentConfig full = BaseConfig();
     full.themis_truncate_queue_entries = false;
-    Register("QueueEncoding/truncated-1B", truncated, /*inject_loss=*/false);
-    Register("QueueEncoding/full-3B", full, /*inject_loss=*/false);
+    cases.push_back({"QueueEncoding/truncated-1B", truncated, /*inject_loss=*/false});
+    cases.push_back({"QueueEncoding/full-3B", full, /*inject_loss=*/false});
   }
 
   // Spray mode: 2-tier ToR egress vs multi-tier sport rewrite.
@@ -125,13 +120,14 @@ int main(int argc, char** argv) {
     ExperimentConfig tor_egress = BaseConfig();
     ExperimentConfig sport = BaseConfig();
     sport.themis_spray_mode = SprayMode::kSportRewrite;
-    Register("SprayMode/tor-egress", tor_egress, /*inject_loss=*/false);
-    Register("SprayMode/sport-rewrite", sport, /*inject_loss=*/false);
+    cases.push_back({"SprayMode/tor-egress", tor_egress, /*inject_loss=*/false});
+    cases.push_back({"SprayMode/sport-rewrite", sport, /*inject_loss=*/false});
   }
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  SweepRunner runner;
+  std::printf("ablation_themis: %zu cases on %d threads\n", cases.size(), runner.threads());
+  auto results = runner.Map(cases, [](const AblationCase& c) { return RunCase(c); });
+  const int failures = benchutil::EmitCaseResults(results);
   benchutil::PrintSummary("Themis design-choice ablations");
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

@@ -7,15 +7,16 @@
 //   ideal     — OOO-tolerant oracle (upper bound).
 //   nic-sr + Themis — the paper's system: commodity NIC behaviour with
 //               in-network NACK filtering.
+//
+// Cases run in parallel on a SweepRunner pool; output order is fixed.
 
 #include "bench/bench_common.h"
 
 namespace themis {
 namespace {
 
+using benchutil::CaseResult;
 using benchutil::MessageBytes;
-using benchutil::ResultRow;
-using benchutil::Rows;
 
 const std::vector<std::vector<int>> kRings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
 
@@ -34,43 +35,43 @@ ExperimentConfig Config(TransportKind transport, Scheme scheme) {
   return config;
 }
 
-void RunCase(benchmark::State& state, TransportKind transport, Scheme scheme,
-             const char* label) {
+struct TransportCase {
+  TransportKind transport;
+  Scheme scheme;
+  const char* label;
+};
+
+CaseResult RunCase(const TransportCase& c) {
   const uint64_t bytes = MessageBytes(8);
-  for (auto _ : state) {
-    Experiment exp(Config(transport, scheme));
-    auto result =
-        exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
-    state.SetIterationTime(ToSeconds(result.tail_completion));
-    if (!result.all_done) {
-      state.SkipWithError("transfer did not finish");
-      return;
-    }
-    state.counters["rtx_ratio"] = exp.AggregateRetransmissionRatio();
-    ResultRow row;
-    row.config = "spraying-ring";
-    row.scheme = label;
-    row.completion_ms = ToMilliseconds(result.tail_completion);
-    row.rtx_ratio = exp.AggregateRetransmissionRatio();
-    row.nacks_to_sender = exp.TotalNacksReceived();
-    row.nacks_blocked =
-        exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
-    row.drops = exp.TotalPortDrops();
-    Rows().push_back(row);
+  CaseResult out;
+  out.name = std::string("Transport/") + c.label;
+
+  Experiment exp(Config(c.transport, c.scheme));
+  auto result = exp.RunCollective(CollectiveKind::kNeighborRing, kRings, bytes, 120 * kSecond);
+  if (!result.all_done) {
+    out.error = "transfer did not finish";
+    return out;
   }
+
+  out.ok = true;
+  out.sim_seconds = ToSeconds(result.tail_completion);
+  out.row.config = "spraying-ring";
+  out.row.scheme = c.label;
+  out.row.completion_ms = ToMilliseconds(result.tail_completion);
+  out.row.rtx_ratio = exp.AggregateRetransmissionRatio();
+  out.row.nacks_to_sender = exp.TotalNacksReceived();
+  out.row.nacks_blocked =
+      exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
+  out.row.drops = exp.TotalPortDrops();
+  return out;
 }
 
 }  // namespace
 }  // namespace themis
 
-int main(int argc, char** argv) {
+int main() {
   using namespace themis;
-  struct Case {
-    TransportKind transport;
-    Scheme scheme;
-    const char* label;
-  };
-  static constexpr Case kCases[] = {
+  const std::vector<TransportCase> cases = {
       {TransportKind::kGoBackN, Scheme::kRandomSpray, "go-back-n (CX-4/5)"},
       {TransportKind::kNicSr, Scheme::kRandomSpray, "nic-sr (CX-6/7)"},
       {TransportKind::kIrn, Scheme::kRandomSpray, "irn-style NIC"},
@@ -80,18 +81,11 @@ int main(int argc, char** argv) {
       {TransportKind::kNicSr, Scheme::kFlowlet, "nic-sr + flowlet"},
       {TransportKind::kNicSr, Scheme::kSprayReorder, "nic-sr + ToR reordering"},
   };
-  for (const Case& c : kCases) {
-    benchmark::RegisterBenchmark((std::string("Transport/") + c.label).c_str(),
-                                 [c](benchmark::State& state) {
-                                   RunCase(state, c.transport, c.scheme, c.label);
-                                 })
-        ->Iterations(1)
-        ->UseManualTime()
-        ->Unit(benchmark::kMillisecond);
-  }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  SweepRunner runner;
+  std::printf("ablation_transport: %zu cases on %d threads\n", cases.size(), runner.threads());
+  auto results = runner.Map(cases, [](const TransportCase& c) { return RunCase(c); });
+  const int failures = benchutil::EmitCaseResults(results);
   benchutil::PrintSummary("Transport-generation ablation under packet spraying");
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

@@ -15,11 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/core/experiment.h"
+#include "src/core/sweep_runner.h"
 #include "src/stats/report.h"
 
 namespace themis {
@@ -49,6 +51,33 @@ struct ResultRow {
 inline std::vector<ResultRow>& Rows() {
   static std::vector<ResultRow> rows;
   return rows;
+}
+
+// One sweep point's outcome, as produced inside a SweepRunner worker. The
+// sweep binaries fan their cases out with SweepRunner::Map and collect these
+// in input order, so the printed table is identical for any thread count.
+struct CaseResult {
+  std::string name;
+  ResultRow row;
+  double sim_seconds = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+// Prints per-case lines in sweep order, files successful rows for the
+// summary table, and returns the number of failed cases.
+inline int EmitCaseResults(const std::vector<CaseResult>& results) {
+  int failures = 0;
+  for (const CaseResult& r : results) {
+    if (!r.ok) {
+      std::printf("%-48s SKIPPED: %s\n", r.name.c_str(), r.error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-48s sim=%.3f ms\n", r.name.c_str(), r.sim_seconds * 1e3);
+    Rows().push_back(r.row);
+  }
+  return failures;
 }
 
 inline void PrintSummary(const std::string& title) {

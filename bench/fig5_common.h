@@ -7,6 +7,11 @@
 // metric is the slowest group's completion time. Schemes: ECMP, Adaptive
 // Routing, Themis. DCQCN (TI, TD) in {(900,4),(300,4),(10,4),(10,50),
 // (10,200)} microseconds.
+//
+// The 15 sweep points are independent single-threaded simulations, so they
+// run in parallel on a SweepRunner pool (THEMIS_SWEEP_THREADS=1 forces the
+// old serial behaviour); results are collected and printed in sweep order
+// regardless of thread count.
 
 #ifndef THEMIS_BENCH_FIG5_COMMON_H_
 #define THEMIS_BENCH_FIG5_COMMON_H_
@@ -36,60 +41,66 @@ inline ExperimentConfig Fig5Config(Scheme scheme, const DcqcnPoint& point) {
   return config;
 }
 
-inline void RunFig5Case(benchmark::State& state, CollectiveKind kind, Scheme scheme,
-                        const DcqcnPoint& point, uint64_t bytes) {
-  for (auto _ : state) {
-    Experiment exp(Fig5Config(scheme, point));
-    auto groups = exp.MakeCrossRackGroups(16);
-    auto result = exp.RunCollective(kind, groups, bytes, 60 * kSecond);
+inline CaseResult RunFig5Case(CollectiveKind kind, Scheme scheme, const DcqcnPoint& point,
+                              uint64_t bytes, const std::string& name) {
+  CaseResult out;
+  out.name = name;
 
-    state.SetIterationTime(ToSeconds(result.tail_completion));
-    state.counters["sim_ms"] = ToMilliseconds(result.tail_completion);
-    state.counters["rtx_ratio"] = exp.AggregateRetransmissionRatio();
-    state.counters["nacks"] = static_cast<double>(exp.TotalNacksReceived());
-    if (!result.all_done) {
-      state.SkipWithError("collective did not finish before the deadline");
-      return;
-    }
-
-    ResultRow row;
-    row.config = "(TI=" + std::to_string(point.ti_us) + "us,TD=" + std::to_string(point.td_us) +
-                 "us)";
-    row.scheme = SchemeName(scheme);
-    row.completion_ms = ToMilliseconds(result.tail_completion);
-    row.rtx_ratio = exp.AggregateRetransmissionRatio();
-    row.nacks_to_sender = exp.TotalNacksReceived();
-    row.nacks_blocked =
-        exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
-    row.drops = exp.TotalPortDrops();
-    Rows().push_back(row);
+  Experiment exp(Fig5Config(scheme, point));
+  auto groups = exp.MakeCrossRackGroups(16);
+  auto result = exp.RunCollective(kind, groups, bytes, 60 * kSecond);
+  if (!result.all_done) {
+    out.error = "collective did not finish before the deadline";
+    return out;
   }
+
+  out.ok = true;
+  out.sim_seconds = ToSeconds(result.tail_completion);
+  out.row.config = "(TI=" + std::to_string(point.ti_us) + "us,TD=" + std::to_string(point.td_us) +
+                   "us)";
+  out.row.scheme = SchemeName(scheme);
+  out.row.completion_ms = ToMilliseconds(result.tail_completion);
+  out.row.rtx_ratio = exp.AggregateRetransmissionRatio();
+  out.row.nacks_to_sender = exp.TotalNacksReceived();
+  out.row.nacks_blocked =
+      exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
+  out.row.drops = exp.TotalPortDrops();
+  return out;
 }
 
-// Registers the 15-case sweep for one collective and runs the suite.
+// Runs the 15-case sweep for one collective on the thread pool.
 inline int Fig5Main(int argc, char** argv, CollectiveKind kind, const char* figure_name,
                     uint64_t default_mib) {
+  (void)argc;
+  (void)argv;
   const uint64_t bytes = MessageBytes(default_mib);
+
+  struct Fig5Case {
+    DcqcnPoint point;
+    Scheme scheme;
+    std::string name;
+  };
+  std::vector<Fig5Case> cases;
   for (const DcqcnPoint& point : kFig5Sweep) {
     for (Scheme scheme : kFig5Schemes) {
       const std::string name = std::string(figure_name) + "/" + SchemeName(scheme) + "/TI=" +
                                std::to_string(point.ti_us) + "us/TD=" +
                                std::to_string(point.td_us) + "us";
-      benchmark::RegisterBenchmark(name.c_str(),
-                                   [kind, scheme, point, bytes](benchmark::State& state) {
-                                     RunFig5Case(state, kind, scheme, point, bytes);
-                                   })
-          ->Iterations(1)
-          ->UseManualTime()
-          ->Unit(benchmark::kMillisecond);
+      cases.push_back(Fig5Case{point, scheme, name});
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  SweepRunner runner;
+  std::printf("%s: %zu sweep points on %d threads\n", figure_name, cases.size(),
+              runner.threads());
+  auto results = runner.Map(cases, [kind, bytes](const Fig5Case& c) {
+    return RunFig5Case(kind, c.scheme, c.point, bytes, c.name);
+  });
+
+  const int failures = EmitCaseResults(results);
   PrintSummary(std::string(figure_name) + " — tail communication completion time (" +
                std::to_string(bytes >> 20) + " MiB per collective; paper uses 300 MB)");
-  return 0;
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace benchutil

@@ -1,0 +1,115 @@
+// A thread-pool runner for parameter sweeps.
+//
+// Every figure in the paper is a grid of independent {ExperimentConfig,
+// seed} points, and each Experiment owns a single-threaded, self-contained
+// Simulator — no globals, no shared mutable state. That makes sweeps
+// embarrassingly parallel: SweepRunner fans the points out over a pool of
+// std::threads and writes each result into its own slot, so the output is a
+// pure function of the inputs and is byte-identical for 1 or N workers (the
+// determinism_test pins this).
+//
+// Thread count resolution: explicit argument > THEMIS_SWEEP_THREADS env var
+// > std::thread::hardware_concurrency(). Pass 1 to force serial execution
+// (useful when bisecting a sweep under a debugger).
+
+#ifndef THEMIS_SRC_CORE_SWEEP_RUNNER_H_
+#define THEMIS_SRC_CORE_SWEEP_RUNNER_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace themis {
+
+class SweepRunner {
+ public:
+  // `num_threads` <= 0 means auto (env var, then hardware concurrency).
+  explicit SweepRunner(int num_threads = 0) : threads_(ResolveThreadCount(num_threads)) {}
+
+  int threads() const { return threads_; }
+
+  // Calls fn(i) for every i in [0, count), distributing indices over the
+  // pool via an atomic work counter. Blocks until all items finish. If any
+  // item throws, the first exception (by completion order) is rethrown on
+  // the calling thread after the pool drains.
+  template <typename Fn>
+  void RunIndexed(size_t count, Fn&& fn) const {
+    if (count == 0) {
+      return;
+    }
+    const size_t workers = std::min(static_cast<size_t>(threads_), count);
+    if (workers <= 1) {
+      for (size_t i = 0; i < count; ++i) {
+        fn(i);
+      }
+      return;
+    }
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          return;
+        }
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  // Maps fn over `items`, returning results in input order regardless of
+  // which worker ran which item. fn must be callable concurrently from
+  // multiple threads (it is, for anything that only touches its own item).
+  template <typename Item, typename Fn>
+  auto Map(const std::vector<Item>& items, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, const Item&>> {
+    std::vector<std::invoke_result_t<Fn&, const Item&>> results(items.size());
+    RunIndexed(items.size(), [&](size_t i) { results[i] = fn(items[i]); });
+    return results;
+  }
+
+  static int ResolveThreadCount(int requested) {
+    if (requested > 0) {
+      return requested;
+    }
+    if (const char* env = std::getenv("THEMIS_SWEEP_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) {
+        return parsed;
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_CORE_SWEEP_RUNNER_H_

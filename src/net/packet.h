@@ -10,6 +10,7 @@
 #define THEMIS_SRC_NET_PACKET_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "src/net/psn.h"

@@ -66,14 +66,17 @@ void Port::StartNextTransmission() {
 
   const TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
 
-  // Wire frees up after serialization completes.
-  sim_->Schedule(serialization, [this] { StartNextTransmission(); });
+  // Wire frees up after serialization completes. Both events below are on
+  // the per-packet hot path, so they go through the inline-only overload:
+  // a capture that outgrows the event's inline buffer fails to compile
+  // rather than silently reintroducing a per-packet allocation.
+  sim_->ScheduleInline(serialization, [this] { StartNextTransmission(); });
 
   // Peer sees the packet after serialization + propagation, unless the link
   // failed while the packet was in flight. Per-link arrivals are FIFO, so
   // the event needs no payload.
   in_flight_.push_back(pkt);
-  sim_->Schedule(serialization + propagation_delay_, [this] { DeliverHeadInFlight(); });
+  sim_->ScheduleInline(serialization + propagation_delay_, [this] { DeliverHeadInFlight(); });
 }
 
 void Port::DeliverHeadInFlight() {

@@ -79,9 +79,15 @@ void RnicHost::NotifyWork() {
     return;  // loop continues once the current packet finishes serializing
   }
   if (state_ == SchedulerState::kSleeping) {
-    ++sleep_generation_;  // invalidate the pending wake-up
+    wake_timer_.Cancel();  // remove the pending wake-up from the wheel
     state_ = SchedulerState::kIdle;
   }
+  RunScheduler();
+}
+
+void RnicHost::OnWake() {
+  assert(state_ == SchedulerState::kSleeping);
+  state_ = SchedulerState::kIdle;
   RunScheduler();
 }
 
@@ -113,14 +119,7 @@ void RnicHost::RunScheduler() {
   // frame throttles the NIC MAC. Poll at one MTU serialization time.
   if (uplink()->paused() || uplink()->queued_data_bytes() >= 2 * 1500) {
     state_ = SchedulerState::kSleeping;
-    const uint64_t generation = ++sleep_generation_;
-    sim()->Schedule(line_rate().SerializationTime(1500), [this, generation] {
-      if (generation != sleep_generation_ || state_ != SchedulerState::kSleeping) {
-        return;
-      }
-      state_ = SchedulerState::kIdle;
-      RunScheduler();
-    });
+    wake_timer_.Arm(line_rate().SerializationTime(1500));
     return;
   }
 
@@ -128,14 +127,7 @@ void RnicHost::RunScheduler() {
   if (best_time > now) {
     // All eligible QPs are pacing; sleep until the earliest slot.
     state_ = SchedulerState::kSleeping;
-    const uint64_t generation = ++sleep_generation_;
-    sim()->ScheduleAt(best_time, [this, generation] {
-      if (generation != sleep_generation_ || state_ != SchedulerState::kSleeping) {
-        return;
-      }
-      state_ = SchedulerState::kIdle;
-      RunScheduler();
-    });
+    wake_timer_.Arm(best_time - now);
     return;
   }
 
@@ -144,7 +136,7 @@ void RnicHost::RunScheduler() {
   ++rr_cursor_;
   uplink()->Send(pkt);
   state_ = SchedulerState::kTransmitting;
-  sim()->Schedule(line_rate().SerializationTime(pkt.wire_bytes), [this] {
+  sim()->ScheduleInline(line_rate().SerializationTime(pkt.wire_bytes), [this] {
     state_ = SchedulerState::kIdle;
     RunScheduler();
   });

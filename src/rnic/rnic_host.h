@@ -31,7 +31,8 @@ struct RnicHostStats {
 class RnicHost : public Node {
  public:
   RnicHost(Simulator* sim, int id, std::string name)
-      : Node(sim, id, NodeKind::kHost, std::move(name)) {}
+      : Node(sim, id, NodeKind::kHost, std::move(name)),
+        wake_timer_(sim, [this] { OnWake(); }) {}
 
   void ReceivePacket(const Packet& pkt, int in_port) override;
 
@@ -63,6 +64,8 @@ class RnicHost : public Node {
 
   // Core arbitration loop; picks the earliest-eligible QP with work.
   void RunScheduler();
+  // Fires when a scheduler sleep (pacing gap or PFC poll) elapses.
+  void OnWake();
 
   std::unordered_map<uint32_t, std::unique_ptr<SenderQp>> senders_;
   std::unordered_map<uint32_t, std::unique_ptr<ReceiverQp>> receivers_;
@@ -72,7 +75,10 @@ class RnicHost : public Node {
 
   bool auto_schedule_ = true;
   SchedulerState state_ = SchedulerState::kIdle;
-  uint64_t sleep_generation_ = 0;
+  // Scheduler wake-up (pacing gap / PFC poll). Wheel-backed, so the
+  // arm-on-sleep / cancel-on-NotifyWork churn is O(1) and leaves no stale
+  // events in the queue.
+  Timer wake_timer_;
   size_t rr_cursor_ = 0;  // round-robin start index for fairness
   RnicHostStats host_stats_;
 };

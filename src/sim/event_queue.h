@@ -1,25 +1,36 @@
-// A deterministic discrete-event queue.
+// A deterministic two-tier discrete-event queue.
 //
-// Events are (time, sequence, callback) triples kept in a binary heap. Ties
-// on time are broken by insertion sequence so that a given schedule order
-// always replays identically, which the reproduction relies on for
-// bit-identical simulation traces across runs.
+// Events are (time, sequence, callback) triples. Ties on time are broken by
+// insertion sequence so that a given schedule order always replays
+// identically, which the reproduction relies on for bit-identical simulation
+// traces across runs.
+//
+// Two tiers share one sequence counter:
+//  * ScheduleAt() — a binary heap for one-shot, non-cancellable events
+//    (packet serialization/delivery chains, far-future or irregular work).
+//  * ScheduleTimer()/CancelTimer() — a hierarchical timer wheel for the
+//    high-churn cancellable timers (per-QP RTO re-arms, DCQCN TI/TD/alpha
+//    ticks, NIC scheduler wake-ups). Arm and Cancel are O(1) and a
+//    cancelled timer leaves no garbage event behind.
+// Pop() merges both tiers by (time, sequence), so the observable firing
+// order is exactly what a single global heap would produce.
 
 #ifndef THEMIS_SRC_SIM_EVENT_QUEUE_H_
 #define THEMIS_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "src/sim/inline_callback.h"
 #include "src/sim/time.h"
+#include "src/sim/timer_wheel.h"
 
 namespace themis {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -32,29 +43,53 @@ class EventQueue {
     SiftUp(heap_.size() - 1);
   }
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  // Schedules a cancellable entry on the timer wheel. The returned id stays
+  // valid until the entry fires or is cancelled.
+  TimerId ScheduleTimer(TimePs at, Callback cb) {
+    return wheel_.Schedule(at, next_seq_++, std::move(cb));
+  }
+
+  // O(1); returns false if the entry already fired or was cancelled.
+  bool CancelTimer(TimerId id) { return wheel_.Cancel(id); }
+
+  bool empty() const { return heap_.empty() && wheel_.pending() == 0; }
+  size_t size() const { return heap_.size() + wheel_.pending(); }
 
   // Time of the earliest pending event. Queue must be non-empty.
-  TimePs NextTime() const { return heap_.front().time; }
+  TimePs NextTime() {
+    Sync();
+    if (heap_.empty()) {
+      return wheel_.ReadyTime();
+    }
+    if (!wheel_.HasReady()) {
+      return heap_.front().time;
+    }
+    return wheel_.ReadyTime() < heap_.front().time ? wheel_.ReadyTime() : heap_.front().time;
+  }
 
   // Removes and returns the earliest event's callback, advancing `*time_out`.
   Callback Pop(TimePs* time_out) {
-    Entry top = std::move(heap_.front());
-    const size_t n = heap_.size() - 1;
-    if (n > 0) {
-      heap_.front() = std::move(heap_.back());
+    Sync();
+    if (!heap_.empty() &&
+        (!wheel_.HasReady() || HeapTopBeforeReady())) {
+      Entry top = std::move(heap_.front());
+      const size_t n = heap_.size() - 1;
+      if (n > 0) {
+        heap_.front() = std::move(heap_.back());
+      }
+      heap_.pop_back();
+      if (n > 1) {
+        SiftDown(0);
+      }
+      *time_out = top.time;
+      return std::move(top.callback);
     }
-    heap_.pop_back();
-    if (n > 1) {
-      SiftDown(0);
-    }
-    *time_out = top.time;
-    return std::move(top.callback);
+    return wheel_.PopReady(time_out);
   }
 
   void Clear() {
     heap_.clear();
+    wheel_.Clear();
   }
 
   uint64_t total_scheduled() const { return next_seq_; }
@@ -69,6 +104,19 @@ class EventQueue {
       return time < other.time || (time == other.time && seq < other.seq);
     }
   };
+
+  // Pulls every wheel entry that could precede the heap top into the
+  // wheel's ready heap, so the merge in Pop()/NextTime() is exact.
+  void Sync() {
+    wheel_.CollectDue(heap_.empty() ? kTimeInfinity : heap_.front().time);
+  }
+
+  // Pre: heap non-empty and wheel has a ready entry.
+  bool HeapTopBeforeReady() {
+    const Entry& top = heap_.front();
+    const TimePs ready_time = wheel_.ReadyTime();
+    return top.time < ready_time || (top.time == ready_time && top.seq < wheel_.ReadySeq());
+  }
 
   void SiftUp(size_t i) {
     while (i > 0) {
@@ -102,6 +150,7 @@ class EventQueue {
   }
 
   std::vector<Entry> heap_;
+  TimerWheel wheel_;
   uint64_t next_seq_ = 0;
 };
 

@@ -3,11 +3,19 @@
 // Every model object holds a Simulator* and schedules work through it. The
 // executive is single-threaded by design; determinism comes from integer
 // time plus FIFO tie-breaking in the event queue.
+//
+// Two scheduling tiers (see event_queue.h): plain Schedule()/ScheduleAt()
+// events go to the binary heap; cancellable timers (Timer, PeriodicTimer,
+// ScheduleTimer) ride the hierarchical timer wheel. Both draw sequence
+// numbers from the same counter, so the firing order — and therefore every
+// fixed-seed trace — is identical to a single global heap.
 
 #ifndef THEMIS_SRC_SIM_SIMULATOR_H_
 #define THEMIS_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/random.h"
@@ -35,12 +43,42 @@ class Simulator {
     queue_.ScheduleAt(at, std::move(cb));
   }
 
+  // Packet-path variants: statically reject any capture too large for the
+  // callback's inline buffer, so the per-event path never allocates.
+  template <typename F>
+  void ScheduleInline(TimePs delay, F&& f) {
+    queue_.ScheduleAt(now_ + delay, EventCallback::MustInline(std::forward<F>(f)));
+  }
+
+  template <typename F>
+  void ScheduleAtInline(TimePs at, F&& f) {
+    queue_.ScheduleAt(at, EventCallback::MustInline(std::forward<F>(f)));
+  }
+
+  // Cancellable timer entries on the wheel; Arm and Cancel are O(1) and a
+  // cancelled entry leaves no residue in the queue.
+  TimerId ScheduleTimer(TimePs delay, EventQueue::Callback cb) {
+    return queue_.ScheduleTimer(now_ + delay, std::move(cb));
+  }
+
+  TimerId ScheduleTimerAt(TimePs at, EventQueue::Callback cb) {
+    return queue_.ScheduleTimer(at, std::move(cb));
+  }
+
+  bool CancelTimer(TimerId id) { return queue_.CancelTimer(id); }
+
   // Runs until the event queue drains or Stop() is called. Returns the
   // number of events executed.
   uint64_t Run() { return RunUntil(kTimeInfinity); }
 
   // Runs until the queue drains, Stop() is called, or the next event would
   // fire after `deadline`. The clock never exceeds `deadline`.
+  //
+  // Unless Stop() ended the run, the clock is advanced to `deadline` on
+  // return (even if the queue drained or the next event lies beyond it), so
+  // callers measuring durations after a deadline-bounded run read the full
+  // window rather than the timestamp of the last event that happened to
+  // fire. A Stop()ed run keeps now() at the stopping event's time.
   uint64_t RunUntil(TimePs deadline) {
     stopped_ = false;
     uint64_t executed = 0;
@@ -53,6 +91,9 @@ class Simulator {
       now_ = t;
       cb();
       ++executed;
+    }
+    if (!stopped_ && deadline != kTimeInfinity && now_ < deadline) {
+      now_ = deadline;
     }
     events_executed_ += executed;
     return executed;
@@ -74,9 +115,10 @@ class Simulator {
   Rng rng_;
 };
 
-// A cancellable, re-armable one-shot timer built on generation counting.
-// Cancel() and re-Arm() are O(1); superseded events become no-ops when they
-// fire.
+// A cancellable, re-armable one-shot timer backed by the timer wheel.
+// Cancel() and re-Arm() are O(1) and physically remove the pending entry —
+// unlike the old generation-counting scheme, no superseded no-op event is
+// left behind to be popped later.
 class Timer {
  public:
   using Callback = std::function<void()>;
@@ -86,38 +128,43 @@ class Timer {
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
+  ~Timer() { Cancel(); }
+
   // Arms (or re-arms) the timer to fire `delay` from now.
   void Arm(TimePs delay) {
-    const uint64_t generation = ++generation_;
+    if (armed_) {
+      sim_->CancelTimer(id_);
+    }
     armed_ = true;
     deadline_ = sim_->now() + delay;
-    sim_->Schedule(delay, [this, generation] {
-      if (generation != generation_ || !armed_) {
-        return;
-      }
-      armed_ = false;
-      callback_();
-    });
+    id_ = sim_->ScheduleTimerAt(deadline_, EventCallback::MustInline([this] { OnFire(); }));
   }
 
   void Cancel() {
-    ++generation_;
-    armed_ = false;
+    if (armed_) {
+      sim_->CancelTimer(id_);
+      armed_ = false;
+    }
   }
 
   bool armed() const { return armed_; }
   TimePs deadline() const { return deadline_; }
 
  private:
+  void OnFire() {
+    armed_ = false;  // before the callback, which may re-Arm
+    callback_();
+  }
+
   Simulator* sim_;
   Callback callback_;
-  uint64_t generation_ = 0;
+  TimerId id_;
   bool armed_ = false;
   TimePs deadline_ = 0;
 };
 
-// A fixed-period repeating timer. Stops when Cancel()ed or when the owner is
-// destroyed (owner must outlive the simulator run or call Cancel()).
+// A fixed-period repeating timer riding the timer wheel. Stops when
+// Cancel()ed or destroyed.
 class PeriodicTimer {
  public:
   using Callback = std::function<void()>;
@@ -127,40 +174,56 @@ class PeriodicTimer {
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
 
+  ~PeriodicTimer() { Cancel(); }
+
   void Start(TimePs period) {
+    CancelPending();
     period_ = period;
-    const uint64_t generation = ++generation_;
     running_ = true;
-    ScheduleNext(generation);
+    ++epoch_;
+    ScheduleNext();
   }
 
   void Cancel() {
-    ++generation_;
+    CancelPending();
     running_ = false;
+    ++epoch_;
   }
 
   bool running() const { return running_; }
   TimePs period() const { return period_; }
 
  private:
-  void ScheduleNext(uint64_t generation) {
-    sim_->Schedule(period_, [this, generation] {
-      if (generation != generation_ || !running_) {
-        return;
-      }
-      callback_();
-      // The callback may have cancelled or restarted the timer.
-      if (generation == generation_ && running_) {
-        ScheduleNext(generation);
-      }
-    });
+  void CancelPending() {
+    if (pending_) {
+      sim_->CancelTimer(id_);
+      pending_ = false;
+    }
+  }
+
+  void ScheduleNext() {
+    pending_ = true;
+    id_ = sim_->ScheduleTimer(period_, EventCallback::MustInline([this] { OnFire(); }));
+  }
+
+  void OnFire() {
+    pending_ = false;
+    const uint64_t epoch = epoch_;
+    callback_();
+    // The callback may have cancelled or restarted the timer; only chain the
+    // next tick if neither happened.
+    if (epoch == epoch_ && running_) {
+      ScheduleNext();
+    }
   }
 
   Simulator* sim_;
   Callback callback_;
+  TimerId id_;
   TimePs period_ = 0;
-  uint64_t generation_ = 0;
+  uint64_t epoch_ = 0;
   bool running_ = false;
+  bool pending_ = false;
 };
 
 }  // namespace themis

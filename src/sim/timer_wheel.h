@@ -1,0 +1,454 @@
+// A hierarchical timer wheel for high-churn, cancellable timers.
+//
+// Per-QP RTO re-arms, DCQCN TI/TD/alpha ticks, PFC resume polls and NIC
+// scheduler wake-ups arm and cancel timers on almost every packet. Routing
+// them through the binary heap costs O(log n) per arm and leaves a garbage
+// no-op event behind on every cancel/re-arm. The wheel makes Arm and Cancel
+// O(1): entries are intrusive doubly-linked nodes hashed into
+// power-of-two-granularity slots; higher levels cascade into lower ones as
+// the cursor crosses level boundaries, and entries whose slot has been
+// passed sit in a small "ready" heap ordered by (time, seq).
+//
+// Determinism contract: each entry carries the sequence number handed out
+// by the owning EventQueue, and the queue merges the wheel's ready entries
+// with the binary heap by (time, seq). The total event order is therefore
+// bit-identical to a single global heap, which keeps fixed-seed traces
+// stable across the engine split.
+
+#ifndef THEMIS_SRC_SIM_TIMER_WHEEL_H_
+#define THEMIS_SRC_SIM_TIMER_WHEEL_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/inline_callback.h"
+#include "src/sim/time.h"
+
+namespace themis {
+
+// Handle to a pending wheel entry. Generation-checked: a handle goes stale
+// the moment its entry fires, is cancelled, or the queue is cleared.
+struct TimerId {
+  int32_t node = -1;
+  uint32_t generation = 0;
+
+  bool valid() const { return node >= 0; }
+};
+
+class TimerWheel {
+ public:
+  using Callback = EventCallback;
+
+  // 4 levels x 256 slots, level-0 slot = 2^16 ps (65.536 ns). Total span
+  // 2^48 ps (~281 s); later deadlines go to the (rarely used) overflow list.
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;
+  static constexpr int kLevels = 4;
+  static constexpr int kGranularityBits = 16;
+
+  TimerWheel() {
+    heads_.assign(static_cast<size_t>(kLevels) * kSlots, -1);
+    occupancy_.assign(static_cast<size_t>(kLevels) * kWordsPerLevel, 0);
+  }
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Inserts an entry firing at absolute time `at`, carrying the caller's
+  // queue-wide sequence number.
+  TimerId Schedule(TimePs at, uint64_t seq, Callback cb) {
+    const int32_t idx = AllocNode();
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    node.time = at;
+    node.seq = seq;
+    node.callback = std::move(cb);
+    Insert(idx);
+    return TimerId{idx, node.generation};
+  }
+
+  // O(1) removal. Returns false if the entry already fired or was cancelled.
+  bool Cancel(TimerId id) {
+    if (!id.valid() || static_cast<size_t>(id.node) >= nodes_.size()) {
+      return false;
+    }
+    Node& node = nodes_[static_cast<size_t>(id.node)];
+    if (node.generation != id.generation) {
+      return false;
+    }
+    switch (node.state) {
+      case NodeState::kInSlot:
+        Unlink(id.node);
+        --in_slot_count_;
+        FreeNode(id.node);
+        return true;
+      case NodeState::kInOverflow:
+        // The overflow vector is compacted lazily on the next drain.
+        node.state = NodeState::kCancelledOverflow;
+        node.callback.Reset();
+        ++node.generation;
+        --overflow_live_;
+        return true;
+      case NodeState::kReady:
+        // Already pulled into the ready heap: mark and free when popped.
+        node.state = NodeState::kCancelledReady;
+        node.callback.Reset();
+        ++node.generation;
+        --ready_live_;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Moves every entry that could fire at or before `bound` (given what is
+  // already in the ready heap) into the ready heap. Must be called before
+  // HasReady()/ReadyTime()/PopReady().
+  void CollectDue(TimePs bound) {
+    for (;;) {
+      PruneReady();
+      TimePs target = bound;
+      if (!ready_.empty()) {
+        target = std::min(target, ReadyTopTime());
+      }
+      if (target < wheel_time_) {
+        return;  // nothing still in the slots can precede `target`
+      }
+      if (overflow_live_ > 0 && overflow_min_ <= target) {
+        DrainOverflow(target);
+        continue;
+      }
+      if (in_slot_count_ == 0) {
+        if (target == kTimeInfinity) {
+          return;  // idle wheel, unbounded target: nothing to do
+        }
+        // All slots empty: jump the cursor past the target. Safe because
+        // cascading only redistributes occupied slots.
+        wheel_time_ = AlignUp(target + 1);
+        return;
+      }
+      AdvanceStep(target);
+    }
+  }
+
+  bool HasReady() {
+    PruneReady();
+    return !ready_.empty();
+  }
+
+  // Pre: HasReady().
+  TimePs ReadyTime() { return ReadyTopTime(); }
+  uint64_t ReadySeq() { return nodes_[static_cast<size_t>(ready_.front())].seq; }
+
+  // Pre: HasReady().
+  Callback PopReady(TimePs* time_out) {
+    const int32_t idx = ready_.front();
+    std::pop_heap(ready_.begin(), ready_.end(), ReadyAfter{this});
+    ready_.pop_back();
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    *time_out = node.time;
+    Callback cb = std::move(node.callback);
+    --ready_live_;
+    FreeNode(idx);
+    return cb;
+  }
+
+  // Live (non-cancelled) pending entries, wherever they currently sit.
+  size_t pending() const { return in_slot_count_ + overflow_live_ + ready_live_; }
+
+  void Clear() {
+    // Nodes are retained (with bumped generations) so stale TimerIds held by
+    // callers can never match a recycled entry.
+    free_head_ = -1;
+    for (size_t i = nodes_.size(); i-- > 0;) {
+      Node& node = nodes_[i];
+      node.callback.Reset();
+      if (node.state != NodeState::kFree) {
+        ++node.generation;
+        node.state = NodeState::kFree;
+      }
+      node.next = free_head_;
+      free_head_ = static_cast<int32_t>(i);
+    }
+    std::fill(heads_.begin(), heads_.end(), -1);
+    std::fill(occupancy_.begin(), occupancy_.end(), 0);
+    ready_.clear();
+    overflow_.clear();
+    in_slot_count_ = 0;
+    overflow_live_ = 0;
+    ready_live_ = 0;
+    overflow_min_ = kTimeInfinity;
+    wheel_time_ = 0;
+  }
+
+ private:
+  enum class NodeState : uint8_t {
+    kFree,
+    kInSlot,
+    kInOverflow,
+    kReady,
+    kCancelledOverflow,
+    kCancelledReady,
+  };
+
+  struct Node {
+    TimePs time = 0;
+    uint64_t seq = 0;
+    Callback callback;
+    int32_t prev = -1;
+    int32_t next = -1;
+    int32_t bucket = -1;
+    uint32_t generation = 0;
+    NodeState state = NodeState::kFree;
+  };
+
+  static constexpr int kWordsPerLevel = kSlots / 64;
+
+  static constexpr int Shift(int level) { return kGranularityBits + kSlotBits * level; }
+  // Width of one slot at `level`; Span(level) == slot width of level+1.
+  static constexpr TimePs Span(int level) { return TimePs{1} << Shift(level + 1); }
+  static constexpr TimePs kGranularity = TimePs{1} << kGranularityBits;
+
+  static TimePs AlignUp(TimePs t) {
+    return (t + kGranularity - 1) & ~(kGranularity - 1);
+  }
+
+  TimePs ReadyTopTime() const { return nodes_[static_cast<size_t>(ready_.front())].time; }
+
+  // Max-comparator for std::push_heap/pop_heap (min-heap by (time, seq)).
+  struct ReadyAfter {
+    const TimerWheel* wheel;
+    bool operator()(int32_t a, int32_t b) const {
+      const Node& na = wheel->nodes_[static_cast<size_t>(a)];
+      const Node& nb = wheel->nodes_[static_cast<size_t>(b)];
+      return na.time > nb.time || (na.time == nb.time && na.seq > nb.seq);
+    }
+  };
+
+  int32_t AllocNode() {
+    if (free_head_ >= 0) {
+      const int32_t idx = free_head_;
+      free_head_ = nodes_[static_cast<size_t>(idx)].next;
+      return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  void FreeNode(int32_t idx) {
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    node.state = NodeState::kFree;
+    ++node.generation;
+    node.next = free_head_;
+    free_head_ = idx;
+  }
+
+  void SetOccupied(int bucket, bool occupied) {
+    uint64_t& word = occupancy_[static_cast<size_t>(bucket >> 6)];
+    const uint64_t bit = uint64_t{1} << (bucket & 63);
+    if (occupied) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  }
+
+  void LinkIntoBucket(int32_t idx, int bucket) {
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    node.state = NodeState::kInSlot;
+    node.bucket = bucket;
+    node.prev = -1;
+    node.next = heads_[static_cast<size_t>(bucket)];
+    if (node.next >= 0) {
+      nodes_[static_cast<size_t>(node.next)].prev = idx;
+    }
+    heads_[static_cast<size_t>(bucket)] = idx;
+    SetOccupied(bucket, true);
+    ++in_slot_count_;
+  }
+
+  void Unlink(int32_t idx) {
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.prev >= 0) {
+      nodes_[static_cast<size_t>(node.prev)].next = node.next;
+    } else {
+      heads_[static_cast<size_t>(node.bucket)] = node.next;
+      if (node.next < 0) {
+        SetOccupied(node.bucket, false);
+      }
+    }
+    if (node.next >= 0) {
+      nodes_[static_cast<size_t>(node.next)].prev = node.prev;
+    }
+  }
+
+  // Places a node into the slot hierarchy / overflow / ready heap based on
+  // its distance from the cursor.
+  void Insert(int32_t idx) {
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.time < wheel_time_) {
+      // The cursor already passed this slot (e.g. a zero-delay arm).
+      PushReady(idx);
+      return;
+    }
+    const TimePs delta = node.time - wheel_time_;
+    for (int level = 0; level < kLevels; ++level) {
+      if (delta < Span(level)) {
+        const int slot = static_cast<int>((node.time >> Shift(level)) & (kSlots - 1));
+        LinkIntoBucket(idx, level * kSlots + slot);
+        return;
+      }
+    }
+    node.state = NodeState::kInOverflow;
+    overflow_.push_back(idx);
+    ++overflow_live_;
+    overflow_min_ = std::min(overflow_min_, node.time);
+  }
+
+  void PushReady(int32_t idx) {
+    nodes_[static_cast<size_t>(idx)].state = NodeState::kReady;
+    ready_.push_back(idx);
+    std::push_heap(ready_.begin(), ready_.end(), ReadyAfter{this});
+    ++ready_live_;
+  }
+
+  void PruneReady() {
+    while (!ready_.empty()) {
+      const int32_t idx = ready_.front();
+      if (nodes_[static_cast<size_t>(idx)].state != NodeState::kCancelledReady) {
+        return;
+      }
+      std::pop_heap(ready_.begin(), ready_.end(), ReadyAfter{this});
+      ready_.pop_back();
+      FreeNode(idx);
+    }
+  }
+
+  // First occupied slot index >= `from` within `level`, or -1.
+  int NextOccupiedSlot(int level, int from) const {
+    const size_t base = static_cast<size_t>(level) * kWordsPerLevel;
+    int word_idx = from >> 6;
+    uint64_t word = occupancy_[base + static_cast<size_t>(word_idx)] &
+                    (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (word != 0) {
+        return (word_idx << 6) + __builtin_ctzll(word);
+      }
+      if (++word_idx >= kWordsPerLevel) {
+        return -1;
+      }
+      word = occupancy_[base + static_cast<size_t>(word_idx)];
+    }
+  }
+
+  // Collects the level-0 slot under the cursor (if occupied), else jumps the
+  // cursor over empty slots — never past the next cascade boundary or the
+  // target's slot.
+  void AdvanceStep(TimePs target) {
+    const int slot = static_cast<int>((wheel_time_ >> kGranularityBits) & (kSlots - 1));
+    const int next_occupied = NextOccupiedSlot(0, slot);
+    if (next_occupied == slot) {
+      CollectBucket(slot);
+      wheel_time_ += kGranularity;
+    } else {
+      // Jump to the first of: next occupied slot, next level-1 boundary
+      // (cascade point), or just past the target.
+      const TimePs window_base = wheel_time_ & ~(Span(0) - 1);
+      const TimePs boundary = window_base + Span(0);
+      TimePs jump = (next_occupied < 0)
+                        ? boundary
+                        : window_base + static_cast<TimePs>(next_occupied) * kGranularity;
+      // `target` may be kTimeInfinity (heap and ready both empty); cap at the
+      // boundary to avoid overflowing AlignUp.
+      const TimePs cap =
+          target > kTimeInfinity - Span(0) ? boundary : AlignUp(target + 1);
+      wheel_time_ = std::min(jump, std::min(boundary, cap));
+    }
+    if ((wheel_time_ & (Span(0) - 1)) == 0) {
+      Cascade();
+    }
+  }
+
+  // Moves every entry in level-0 bucket `slot` to the ready heap.
+  void CollectBucket(int slot) {
+    int32_t idx = heads_[static_cast<size_t>(slot)];
+    heads_[static_cast<size_t>(slot)] = -1;
+    SetOccupied(slot, false);
+    while (idx >= 0) {
+      const int32_t next = nodes_[static_cast<size_t>(idx)].next;
+      --in_slot_count_;
+      PushReady(idx);
+      idx = next;
+    }
+  }
+
+  // At each level-(l) boundary crossing, redistribute the level-(l+1) slot
+  // now under the cursor into the lower levels.
+  void Cascade() {
+    for (int level = 1; level < kLevels; ++level) {
+      const int slot = static_cast<int>((wheel_time_ >> Shift(level)) & (kSlots - 1));
+      Redistribute(level * kSlots + slot);
+      if ((wheel_time_ & (Span(level) - 1)) != 0) {
+        break;
+      }
+    }
+  }
+
+  void Redistribute(int bucket) {
+    int32_t idx = heads_[static_cast<size_t>(bucket)];
+    heads_[static_cast<size_t>(bucket)] = -1;
+    SetOccupied(bucket, false);
+    while (idx >= 0) {
+      const int32_t next = nodes_[static_cast<size_t>(idx)].next;
+      --in_slot_count_;
+      Insert(idx);
+      idx = next;
+    }
+  }
+
+  // Re-inserts overflow entries that are now within reach; called only when
+  // the earliest overflow entry precedes the collection target.
+  void DrainOverflow(TimePs target) {
+    const TimePs horizon = target > kTimeInfinity - Span(0) ? kTimeInfinity : target + Span(0);
+    std::vector<int32_t> current;
+    current.swap(overflow_);
+    overflow_min_ = kTimeInfinity;
+    for (const int32_t idx : current) {
+      Node& node = nodes_[static_cast<size_t>(idx)];
+      if (node.state == NodeState::kCancelledOverflow) {
+        FreeNode(idx);
+        continue;
+      }
+      if (node.time > horizon) {
+        overflow_.push_back(idx);
+        overflow_min_ = std::min(overflow_min_, node.time);
+        continue;
+      }
+      --overflow_live_;
+      if (node.time - wheel_time_ >= Span(kLevels - 1)) {
+        // Cursor lags the target by more than the wheel span (idle stretch):
+        // park the entry in the ready heap, which orders it correctly.
+        PushReady(idx);
+      } else {
+        Insert(idx);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  int32_t free_head_ = -1;
+  std::vector<int32_t> heads_;      // kLevels * kSlots intrusive list heads
+  std::vector<uint64_t> occupancy_;  // one bit per bucket, for slot skipping
+  std::vector<int32_t> ready_;       // min-heap by (time, seq) into nodes_
+  std::vector<int32_t> overflow_;    // entries beyond the wheel's span
+  size_t in_slot_count_ = 0;
+  size_t overflow_live_ = 0;
+  size_t ready_live_ = 0;
+  TimePs overflow_min_ = kTimeInfinity;
+  TimePs wheel_time_ = 0;  // start of the first uncollected level-0 slot
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_SIM_TIMER_WHEEL_H_

@@ -1,0 +1,180 @@
+// Seed → trace-hash determinism regression tests.
+//
+// The trace hash digests every observable statistic of a small experiment
+// (per-QP counters, per-spine byte counts, drops, PFC pauses, completion
+// times) into one FNV-1a value. The golden constants below were captured on
+// the seed engine (single binary heap, std::function events) BEFORE the
+// two-tier refactor; the current engine must reproduce them bit-for-bit.
+// This is the refactor's core invariant: the timer wheel, the inline
+// callbacks, and the wheel-backed Timer/PeriodicTimer must be invisible in
+// the event order.
+//
+// SweepRunner determinism is pinned the same way: a sweep's results must be
+// byte-identical whether it runs on 1 worker or many.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/core/sweep_runner.h"
+
+namespace themis {
+namespace {
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t DigestExperiment(Experiment& exp) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  h = FnvMix(h, static_cast<uint64_t>(exp.sim().now()));
+  for (int i = 0; i < exp.host_count(); ++i) {
+    for (const SenderQp* qp : exp.host(i)->sender_qps()) {
+      const SenderQpStats& s = qp->stats();
+      h = FnvMix(h, qp->flow_id());
+      h = FnvMix(h, static_cast<uint64_t>(s.first_post_time));
+      h = FnvMix(h, static_cast<uint64_t>(s.last_completion_time));
+      h = FnvMix(h, s.data_packets_sent);
+      h = FnvMix(h, s.data_bytes_sent);
+      h = FnvMix(h, s.rtx_packets);
+      h = FnvMix(h, s.rtx_bytes);
+      h = FnvMix(h, s.acks_received);
+      h = FnvMix(h, s.nacks_received);
+      h = FnvMix(h, s.cnps_received);
+      h = FnvMix(h, s.timeouts);
+      h = FnvMix(h, s.messages_completed);
+      h = FnvMix(h, qp->snd_una());
+      h = FnvMix(h, qp->snd_nxt());
+    }
+    for (const ReceiverQp* qp : exp.host(i)->receiver_qps()) {
+      const ReceiverQpStats& s = qp->stats();
+      h = FnvMix(h, s.data_packets);
+      h = FnvMix(h, s.goodput_bytes);
+      h = FnvMix(h, s.ooo_arrivals);
+      h = FnvMix(h, s.duplicates);
+      h = FnvMix(h, s.acks_sent);
+      h = FnvMix(h, s.nacks_sent);
+      h = FnvMix(h, s.cnps_sent);
+    }
+  }
+  for (uint64_t b : exp.SpineDataBytes()) {
+    h = FnvMix(h, b);
+  }
+  h = FnvMix(h, exp.TotalPortDrops());
+  h = FnvMix(h, exp.TotalPfcPauses());
+  h = FnvMix(h, exp.TotalDataBytesSent());
+  return h;
+}
+
+// A small but non-trivial experiment: 2x2x2 leaf-spine, cross-rack
+// allreduce, DCQCN with aggressive timers, 100 ns fabric skew (so OOO,
+// NACKs, CNPs, RTOs all occur).
+uint64_t TraceHash(Scheme scheme, uint64_t seed) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.num_tors = 2;
+  config.num_spines = 2;
+  config.hosts_per_tor = 2;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 50 * kMicrosecond;
+  config.fabric_delay_skew = 100 * kNanosecond;
+  Experiment exp(config);
+  auto result = exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2),
+                                  1 << 20, 10 * kSecond);
+  uint64_t h = DigestExperiment(exp);
+  h = FnvMix(h, result.all_done ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+  return h;
+}
+
+struct Golden {
+  Scheme scheme;
+  uint64_t seed;
+  uint64_t hash;
+};
+
+// Captured on the pre-refactor seed engine (commit ae2f4b5 tree).
+const Golden kGoldens[] = {
+    {Scheme::kEcmp, 1, 0x481B974E05BFEAEDULL},
+    {Scheme::kEcmp, 2, 0x481B974E05BFEAEDULL},
+    {Scheme::kAdaptiveRouting, 1, 0x8C79B1663DE3E1BAULL},
+    {Scheme::kAdaptiveRouting, 2, 0x8F6510D58A38DBA0ULL},
+    {Scheme::kThemis, 1, 0x71D337633D87729FULL},
+    {Scheme::kThemis, 2, 0x71D337633D87729FULL},
+    {Scheme::kRandomSpray, 1, 0xEEFDDECD52C4665CULL},
+    {Scheme::kRandomSpray, 2, 0xDD3C1BDE8020F590ULL},
+};
+
+TEST(DeterminismTest, TraceHashesMatchSeedEngineGoldens) {
+  for (const Golden& g : kGoldens) {
+    EXPECT_EQ(TraceHash(g.scheme, g.seed), g.hash)
+        << SchemeName(g.scheme) << " seed=" << g.seed;
+  }
+}
+
+TEST(DeterminismTest, SweepResultsIndependentOfThreadCount) {
+  struct Point {
+    Scheme scheme;
+    uint64_t seed;
+  };
+  const std::vector<Point> points = {
+      {Scheme::kRandomSpray, 1},
+      {Scheme::kThemis, 1},
+      {Scheme::kRandomSpray, 2},
+      {Scheme::kEcmp, 3},
+  };
+  auto run_point = [](const Point& p) { return TraceHash(p.scheme, p.seed); };
+  const auto serial = SweepRunner(1).Map(points, run_point);
+  const auto parallel = SweepRunner(4).Map(points, run_point);
+  ASSERT_EQ(serial.size(), points.size());
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- SweepRunner mechanics (cheap, no simulations) ---------------------------
+
+TEST(SweepRunnerTest, MapPreservesInputOrder) {
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) {
+    items[static_cast<size_t>(i)] = i;
+  }
+  const auto doubled = SweepRunner(8).Map(items, [](const int& x) { return 2 * x; });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(doubled[static_cast<size_t>(i)], 2 * i);
+  }
+}
+
+TEST(SweepRunnerTest, RunIndexedCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(257);
+  SweepRunner(6).RunIndexed(visits.size(), [&visits](size_t i) { ++visits[i]; });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(SweepRunnerTest, WorkerExceptionPropagatesToCaller) {
+  EXPECT_THROW(SweepRunner(4).RunIndexed(64,
+                                         [](size_t i) {
+                                           if (i == 13) {
+                                             throw std::runtime_error("boom");
+                                           }
+                                         }),
+               std::runtime_error);
+}
+
+TEST(SweepRunnerTest, ThreadCountResolution) {
+  EXPECT_EQ(SweepRunner(3).threads(), 3);
+  EXPECT_GE(SweepRunner(0).threads(), 1);  // auto: env var or hardware
+}
+
+}  // namespace
+}  // namespace themis

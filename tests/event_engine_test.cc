@@ -1,0 +1,342 @@
+// Tests for the two-tier event engine: the InlineCallback small-buffer
+// type, the hierarchical timer wheel, and the (time, seq) merge between the
+// wheel and the binary heap.
+//
+// The centrepiece is a randomized stress test that drives the real
+// EventQueue and a naive sorted-reference model through identical
+// Schedule/ScheduleTimer/Cancel/Pop interleavings and demands the exact
+// same firing order — this is the property ("wheel is invisible") that
+// keeps fixed-seed traces bit-identical across the engine refactor.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace themis {
+namespace {
+
+// --- InlineCallback ----------------------------------------------------------
+
+TEST(InlineCallbackTest, SmallCaptureStoredInline) {
+  int hits = 0;
+  int* p = &hits;
+  EventCallback cb([p] { ++*p; });
+  EXPECT_TRUE(cb.stored_inline());
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, CaptureAtCapacityStoredInline) {
+  struct Exact {
+    unsigned char bytes[kEventCallbackInlineBytes - sizeof(int*)];
+  };
+  static_assert(EventCallback::kWouldInline<Exact>);
+  int hits = 0;
+  int* p = &hits;
+  Exact payload{};
+  EventCallback cb([p, payload] {
+    (void)payload;
+    ++*p;
+  });
+  EXPECT_TRUE(cb.stored_inline());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    unsigned char bytes[kEventCallbackInlineBytes + 1] = {};
+  };
+  static_assert(!EventCallback::kWouldInline<Big>);
+  int hits = 0;
+  int* p = &hits;
+  Big payload;
+  payload.bytes[0] = 7;
+  EventCallback cb([p, payload] { *p += payload.bytes[0]; });
+  EXPECT_FALSE(cb.stored_inline());
+  cb();
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  EventCallback a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  EventCallback b(std::move(a));
+  EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: moved-from state is empty
+  b();
+  EXPECT_EQ(*counter, 1);
+  EventCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineCallbackTest, ResetDestroysCapture) {
+  auto counter = std::make_shared<int>(0);
+  EventCallback cb([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  cb.Reset();
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallbackTest, MustInlineAcceptsPacketPathCaptures) {
+  // The typical packet-path shape: `this` plus a couple of words.
+  struct Fake {
+    int x = 0;
+  } fake;
+  int extra = 3;
+  auto cb = EventCallback::MustInline([&fake, extra] { fake.x += extra; });
+  cb();
+  EXPECT_EQ(fake.x, 3);
+}
+
+// --- TimerWheel via EventQueue ----------------------------------------------
+
+TEST(TimerWheelTest, CancelledTimerNeverFiresAndLeavesNoEvent) {
+  EventQueue q;
+  int fired = 0;
+  TimerId id = q.ScheduleTimer(1000, [&fired] { ++fired; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.CancelTimer(id));
+  EXPECT_TRUE(q.empty());       // physically removed, no no-op residue
+  EXPECT_FALSE(q.CancelTimer(id));  // stale handle
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheelTest, CancelAfterCollectIntoReadyHeap) {
+  EventQueue q;
+  int fired = 0;
+  TimerId id = q.ScheduleTimer(100, [&fired] { ++fired; });
+  q.ScheduleAt(50'000'000, [] {});
+  // NextTime() syncs the wheel: the timer entry is pulled into the ready
+  // heap. A cancel must still win.
+  EXPECT_EQ(q.NextTime(), 100);
+  EXPECT_TRUE(q.CancelTimer(id));
+  TimePs t = 0;
+  q.Pop(&t)();
+  EXPECT_EQ(t, 50'000'000);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheelTest, FarFutureTimersTakeOverflowPath) {
+  // 300 s is beyond the wheel's ~281 s span, so these entries sit in the
+  // overflow list until the cursor gets near.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleTimer(300 * kSecond + 5, [&order] { order.push_back(2); });
+  q.ScheduleTimer(300 * kSecond, [&order] { order.push_back(1); });
+  q.ScheduleTimer(600 * kSecond, [&order] { order.push_back(3); });
+  while (!q.empty()) {
+    TimePs t = 0;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheelTest, FifoTieBreakAcrossTiers) {
+  // Entries at the same timestamp fire in scheduling order even when they
+  // live in different tiers.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(500, [&order] { order.push_back(0); });
+  q.ScheduleTimer(500, [&order] { order.push_back(1); });
+  q.ScheduleAt(500, [&order] { order.push_back(2); });
+  q.ScheduleTimer(500, [&order] { order.push_back(3); });
+  while (!q.empty()) {
+    TimePs t = 0;
+    q.Pop(&t)();
+    EXPECT_EQ(t, 500);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// --- Randomized stress: wheel+heap vs a sorted-reference model ---------------
+
+struct RefEntry {
+  TimePs time = 0;
+  uint64_t seq = 0;
+  int id = 0;
+  bool cancelled = false;
+  bool fired = false;
+};
+
+TEST(TimerWheelStressTest, MatchesReferenceUnderRandomChurn) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<RefEntry> ref;   // one slot per scheduled entry, by id
+    std::vector<int> fired;      // ids in actual firing order
+    std::vector<std::pair<TimerId, int>> live_timers;  // handle -> ref id
+    uint64_t next_seq = 0;       // mirrors the queue's internal counter
+    TimePs now = 0;
+    uint64_t monotonic_check = 0;
+
+    // Delay distributions chosen to exercise every wheel path: level-0
+    // slots, upper levels + cascades, zero-delay arms, and overflow.
+    auto random_delay = [&rng]() -> TimePs {
+      switch (rng.Below(8)) {
+        case 0:
+          return static_cast<TimePs>(rng.Below(100));  // sub-slot
+        case 1:
+        case 2:
+        case 3:
+          return static_cast<TimePs>(rng.Below(2 * kMicrosecond));
+        case 4:
+        case 5:
+          return static_cast<TimePs>(rng.Below(200 * kMicrosecond));
+        case 6:
+          return static_cast<TimePs>(rng.Below(2 * kSecond));
+        default:
+          return 280 * kSecond + static_cast<TimePs>(rng.Below(100 * kSecond));
+      }
+    };
+
+    auto fire = [&ref, &fired](int id) {
+      EXPECT_FALSE(ref[static_cast<size_t>(id)].cancelled);
+      EXPECT_FALSE(ref[static_cast<size_t>(id)].fired);
+      ref[static_cast<size_t>(id)].fired = true;
+      fired.push_back(id);
+    };
+
+    for (int op = 0; op < 20'000; ++op) {
+      const uint64_t dice = rng.Below(100);
+      if (dice < 40) {  // arm a wheel timer
+        const int id = static_cast<int>(ref.size());
+        const TimePs at = now + random_delay();
+        ref.push_back(RefEntry{at, next_seq++, id, false, false});
+        live_timers.emplace_back(q.ScheduleTimer(at, [&fire, id] { fire(id); }), id);
+      } else if (dice < 55) {  // schedule a heap event
+        const int id = static_cast<int>(ref.size());
+        const TimePs at = now + random_delay();
+        ref.push_back(RefEntry{at, next_seq++, id, false, false});
+        q.ScheduleAt(at, [&fire, id] { fire(id); });
+      } else if (dice < 75) {  // cancel (possibly stale) timer handle
+        if (!live_timers.empty()) {
+          const size_t pick = static_cast<size_t>(rng.Below(live_timers.size()));
+          auto [handle, id] = live_timers[pick];
+          RefEntry& entry = ref[static_cast<size_t>(id)];
+          const bool expect_ok = !entry.fired && !entry.cancelled;
+          EXPECT_EQ(q.CancelTimer(handle), expect_ok) << "id=" << id;
+          if (expect_ok) {
+            entry.cancelled = true;
+          }
+          live_timers.erase(live_timers.begin() + static_cast<long>(pick));
+        }
+      } else {  // pop one event
+        if (!q.empty()) {
+          TimePs t = 0;
+          EventQueue::Callback cb = q.Pop(&t);
+          EXPECT_GE(t, now);
+          now = t;
+          cb();
+          ++monotonic_check;
+        }
+      }
+    }
+
+    // Drain the remainder.
+    while (!q.empty()) {
+      TimePs t = 0;
+      EventQueue::Callback cb = q.Pop(&t);
+      EXPECT_GE(t, now);
+      now = t;
+      cb();
+    }
+
+    // Expected order: every non-cancelled entry, sorted by (time, seq).
+    std::vector<RefEntry> expected;
+    for (const RefEntry& e : ref) {
+      if (!e.cancelled) {
+        expected.push_back(e);
+      }
+    }
+    std::sort(expected.begin(), expected.end(), [](const RefEntry& a, const RefEntry& b) {
+      return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    });
+    ASSERT_EQ(fired.size(), expected.size()) << "seed=" << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(fired[i], expected[i].id) << "seed=" << seed << " position=" << i;
+    }
+    EXPECT_GT(monotonic_check, 0u);
+  }
+}
+
+// Re-arm churn through the public Timer API, cross-checked against an
+// independently computed expectation.
+TEST(TimerWheelStressTest, TimerRearmChurnFiresExactlyLastArm) {
+  Simulator sim(3);
+  constexpr int kTimers = 32;
+  std::vector<int> fires(kTimers, 0);
+  std::vector<TimePs> fire_times(kTimers, -1);
+  std::vector<std::unique_ptr<Timer>> timers;
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<Timer>(&sim, [&sim, &fires, &fire_times, i] {
+      ++fires[static_cast<size_t>(i)];
+      fire_times[static_cast<size_t>(i)] = sim.now();
+    }));
+  }
+  // Each timer is re-armed 100 times at decreasing deadlines-from-arm-time;
+  // only the final arm may fire.
+  std::vector<TimePs> expected(kTimers, 0);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < kTimers; ++i) {
+      const TimePs delay = (101 - round) * kMicrosecond + i;
+      sim.ScheduleAt(static_cast<TimePs>(round) * kMicrosecond,
+                     [&timers, &expected, &sim, i, delay] {
+                       timers[static_cast<size_t>(i)]->Arm(delay);
+                       expected[static_cast<size_t>(i)] = sim.now() + delay;
+                     });
+    }
+  }
+  sim.Run();
+  for (int i = 0; i < kTimers; ++i) {
+    EXPECT_EQ(fires[static_cast<size_t>(i)], 1) << i;
+    EXPECT_EQ(fire_times[static_cast<size_t>(i)], expected[static_cast<size_t>(i)]) << i;
+  }
+}
+
+// --- RunUntil deadline semantics --------------------------------------------
+
+TEST(RunUntilTest, AdvancesClockToDeadlineOnEarlyExit) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&fired] { ++fired; });
+  // Queue drains before the deadline: the clock still lands on it.
+  sim.RunUntil(5'000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5'000);
+  // Next event beyond the deadline: same rule.
+  sim.Schedule(10'000, [&fired] { ++fired; });  // fires at t=15'000
+  sim.RunUntil(7'000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 7'000);
+  // Stop() keeps the clock at the stopping event.
+  sim.Schedule(1'000, [&sim, &fired] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.RunUntil(20'000);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 8'000);
+  // Run() (infinite deadline) never advances past the last event.
+  sim.Run();
+  EXPECT_EQ(sim.now(), 15'000);
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace themis
