@@ -1,0 +1,191 @@
+// FCT-slowdown benchmark: open-loop flow workloads (Poisson arrivals from an
+// empirical flow-size CDF, incast-heavy mix) on a leaf-spine fabric, sweeping
+// {ECMP, RandomSpray, Themis-S, Themis-D} x {load} x {distribution} and
+// reporting p50/p95/p99 FCT slowdown plus goodput per case.
+//
+// Themis-S sprays by rewriting the UDP source port at the sender; Themis-D
+// sprays at the ToR egress and filters the resulting out-of-order NACKs
+// in-network. Both should tame RandomSpray's p99 slowdown: the raw spray
+// baseline burns bandwidth on spurious retransmissions under incast.
+//
+// Env knobs:
+//   THEMIS_FCT_SMOKE=1    tiny CI configuration (seconds, not minutes)
+//   THEMIS_FCT_CSV=path   also write the slowdown table as CSV
+//   THEMIS_SWEEP_THREADS  sweep parallelism; output is byte-identical for
+//                         any value (cases are pure functions of their
+//                         inputs, collected and printed in sweep order)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workload/flow_driver.h"
+
+namespace themis {
+namespace {
+
+struct FctScheme {
+  const char* label;
+  Scheme scheme;
+  SprayMode spray;
+};
+
+// The bench's four-way comparison. Spray mode only matters under kThemis.
+constexpr FctScheme kFctSchemes[] = {
+    {"ECMP", Scheme::kEcmp, SprayMode::kTorEgress},
+    {"RandomSpray", Scheme::kRandomSpray, SprayMode::kTorEgress},
+    {"Themis-S", Scheme::kThemis, SprayMode::kSportRewrite},
+    {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress},
+};
+
+struct FctCase {
+  FctScheme scheme;
+  const FlowSizeCdf* cdf;
+  double load;
+  std::string name;
+};
+
+struct FctOutcome {
+  FctCase spec;
+  FctWorkloadResult result;
+};
+
+bool SmokeMode() {
+  const char* env = std::getenv("THEMIS_FCT_SMOKE");
+  return env != nullptr && *env == '1';
+}
+
+// Paper-rate (400 Gbps) leaf-spine, scaled down in radix so a full sweep
+// runs in seconds. The fabric seed matches the workload seed so a case is
+// one reproducible experiment end to end.
+ExperimentConfig FctFabric(const FctScheme& scheme, bool smoke) {
+  ExperimentConfig config;
+  config.seed = 42;
+  config.num_tors = smoke ? 2 : 4;
+  config.num_spines = smoke ? 2 : 4;
+  config.hosts_per_tor = 4;
+  config.link_rate = Rate::Gbps(400);
+  config.scheme = scheme.scheme;
+  config.themis_spray_mode = scheme.spray;
+  return config;
+}
+
+WorkloadSpec FctWorkloadSpec(double load, bool smoke) {
+  WorkloadSpec spec;
+  spec.pattern = TrafficPattern::kIncastMix;
+  spec.load = load;
+  spec.window = smoke ? 200 * kMicrosecond : 2 * kMillisecond;
+  spec.incast_fanin = smoke ? 4 : 8;
+  spec.incast_fraction = 0.5;
+  spec.seed = 42;
+  spec.max_flows = smoke ? 48 : 1'000;
+  return spec;
+}
+
+FctOutcome RunCase(const FctCase& c, bool smoke) {
+  const WorkloadSpec workload = FctWorkloadSpec(c.load, smoke);
+  // Open-loop arrivals stop at the window's end; the fabric then gets ample
+  // drain time. The driver Stop()s the simulator at the last completion, so
+  // the deadline only bites when flows are stuck (counted as incomplete).
+  const TimePs deadline = workload.window * 40;
+  FctOutcome out;
+  out.spec = c;
+  out.result = RunFctWorkload(FctFabric(c.scheme, smoke), workload, *c.cdf, deadline);
+  return out;
+}
+
+int FctMain() {
+  const bool smoke = SmokeMode();
+  const std::vector<double> loads = smoke ? std::vector<double>{0.3, 0.6}
+                                          : std::vector<double>{0.4, 0.8};
+  const std::vector<const FlowSizeCdf*> cdfs =
+      smoke ? std::vector<const FlowSizeCdf*>{&FlowSizeCdf::AliStorage()}
+            : std::vector<const FlowSizeCdf*>{&FlowSizeCdf::WebSearch(),
+                                              &FlowSizeCdf::AliStorage()};
+
+  std::vector<FctCase> cases;
+  for (const FlowSizeCdf* cdf : cdfs) {
+    for (double load : loads) {
+      for (const FctScheme& scheme : kFctSchemes) {
+        FctCase c;
+        c.scheme = scheme;
+        c.cdf = cdf;
+        c.load = load;
+        c.name = std::string("FCT/") + cdf->name() + "/load=" + FormatDouble(load, 1) + "/" +
+                 scheme.label;
+        cases.push_back(c);
+      }
+    }
+  }
+
+  std::printf("bench_fct_workload: %zu cases (incast-heavy mix, %s scale)\n", cases.size(),
+              smoke ? "smoke" : "full");
+
+  SweepRunner runner;
+  const std::vector<FctOutcome> outcomes =
+      runner.Map(cases, [smoke](const FctCase& c) { return RunCase(c, smoke); });
+
+  Table table({"dist", "load", "scheme", "flows", "done", "p50", "p95", "p99",
+               "goodput_gbps", "rtx_ratio", "drops"});
+  int failures = 0;
+  for (const FctOutcome& o : outcomes) {
+    const FctWorkloadResult& r = o.result;
+    if (r.flows_completed == 0) {
+      std::printf("%-44s FAILED: no flow completed\n", o.spec.name.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-44s p99 slowdown %.2f (%zu/%zu flows)\n", o.spec.name.c_str(),
+                r.slowdown.p99, r.flows_completed, r.flows_total);
+    table.AddRow({o.spec.cdf->name(), FormatDouble(o.spec.load, 1), o.spec.scheme.label,
+                  std::to_string(r.flows_total), std::to_string(r.flows_completed),
+                  FormatDouble(r.slowdown.p50, 2), FormatDouble(r.slowdown.p95, 2),
+                  FormatDouble(r.slowdown.p99, 2), FormatDouble(r.goodput_gbps, 2),
+                  FormatDouble(r.rtx_ratio, 4), std::to_string(r.drops)});
+  }
+
+  std::printf("\n=== FCT slowdown — incast-heavy mix (p50/p95/p99, lower is better) ===\n");
+  table.Print();
+
+  // Per (dist, load): how much p99 slowdown each Themis variant saves over
+  // the naive spray baseline (the paper's motivating comparison).
+  std::printf("\np99 slowdown relative to RandomSpray (<1.0 = better):\n");
+  for (const FlowSizeCdf* cdf : cdfs) {
+    for (double load : loads) {
+      double spray_p99 = 0.0;
+      for (const FctOutcome& o : outcomes) {
+        if (o.spec.cdf == cdf && o.spec.load == load &&
+            o.spec.scheme.scheme == Scheme::kRandomSpray) {
+          spray_p99 = o.result.slowdown.p99;
+        }
+      }
+      if (spray_p99 <= 0.0) {
+        continue;
+      }
+      for (const FctOutcome& o : outcomes) {
+        if (o.spec.cdf == cdf && o.spec.load == load &&
+            o.spec.scheme.scheme == Scheme::kThemis) {
+          std::printf("  %-12s load=%.1f %-10s %.3f\n", cdf->name().c_str(), load,
+                      o.spec.scheme.label, o.result.slowdown.p99 / spray_p99);
+        }
+      }
+    }
+  }
+
+  if (const char* csv = std::getenv("THEMIS_FCT_CSV"); csv != nullptr && *csv != '\0') {
+    if (table.WriteCsv(csv)) {
+      std::printf("\nwrote %s\n", csv);
+    } else {
+      std::fprintf(stderr, "could not write %s\n", csv);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace themis
+
+int main() { return themis::FctMain(); }

@@ -1,0 +1,14 @@
+# Data-mining-style flow sizes (VL2 lineage): ~80% of flows under 10 kB,
+# but elephants up to 1 GB carry most of the bytes — the most tail-heavy
+# shape commonly used in FCT studies.
+# <bytes> <cumulative_probability>
+100        0.03
+300        0.20
+1000       0.50
+2000       0.60
+10000      0.80
+100000     0.89
+1000000    0.95
+10000000   0.97
+100000000  0.995
+1000000000 1.00

@@ -1,0 +1,13 @@
+# DCTCP-style web-search flow sizes (same knees as the builtin "websearch").
+# <bytes> <cumulative_probability>
+6000      0.15
+13000     0.20
+19000     0.30
+33000     0.40
+53000     0.53
+133000    0.60
+667000    0.70
+1333000   0.80
+3333000   0.90
+6667000   0.97
+20000000  1.00

@@ -132,6 +132,13 @@ class Experiment {
   // so every group spans all racks and all its traffic crosses the fabric.
   std::vector<std::vector<int>> MakeCrossRackGroups(int num_groups) const;
 
+  // Placement helpers for flow-level workloads (src/workload): hosts are
+  // created ToR-major, so rack locality is derivable from the ordinal.
+  int HostTorIndex(int ordinal) const { return ordinal / config_.hosts_per_tor; }
+  bool SameTor(int a, int b) const { return HostTorIndex(a) == HostTorIndex(b); }
+  // Edge (host<->ToR) bandwidth — the load unit for open-loop generators.
+  Rate edge_rate() const { return config_.link_rate; }
+
   // Creates (unstarted) collective ops, one per group.
   std::vector<std::unique_ptr<CollectiveOp>> MakeCollectives(
       CollectiveKind kind, const std::vector<std::vector<int>>& groups, uint64_t bytes);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/net/node.h"
+#include "src/net/packet_queue.h"
 #include "src/net/port.h"
 #include "src/sim/simulator.h"
 
@@ -50,6 +51,7 @@ class Network {
   NodeT* MakeNode(Args&&... args) {
     auto node = std::make_unique<NodeT>(sim_, NextId(), std::forward<Args>(args)...);
     NodeT* raw = node.get();
+    raw->set_packet_arena(&packet_arena_);  // share one freelist fabric-wide
     nodes_.push_back(std::move(node));
     return raw;
   }
@@ -64,12 +66,16 @@ class Network {
 
   const std::vector<DuplexLink>& links() const { return links_; }
   Simulator* sim() const { return sim_; }
+  const PacketArena& packet_arena() const { return packet_arena_; }
 
   // Next node id to be assigned (== current node count).
   int NextId() const { return static_cast<int>(nodes_.size()); }
 
  private:
   Simulator* sim_;
+  // Declared before nodes_: ports (owned by nodes) return their queue nodes
+  // to the arena on destruction, so it must be torn down last.
+  PacketArena packet_arena_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<DuplexLink> links_;
 };

@@ -14,6 +14,7 @@
 
 namespace themis {
 
+class PacketArena;
 class Port;
 
 enum class NodeKind : uint8_t { kHost, kSwitch };
@@ -37,6 +38,12 @@ class Node {
   // Creates a new unconnected egress port and returns its index.
   int AddPort();
 
+  // The freelist arena backing this node's port queues. Network injects its
+  // simulator-wide arena right after construction; nodes built standalone
+  // (unit tests) lazily create a private one.
+  PacketArena* packet_arena();
+  void set_packet_arena(PacketArena* arena) { packet_arena_ = arena; }
+
   Port* port(int index) { return ports_[index].get(); }
   const Port* port(int index) const { return ports_[index].get(); }
   int port_count() const { return static_cast<int>(ports_.size()); }
@@ -51,6 +58,10 @@ class Node {
   int id_;
   NodeKind kind_;
   std::string name_;
+  // Arena members precede ports_ so port queues are destroyed before the
+  // (possibly owned) arena their nodes live in.
+  PacketArena* packet_arena_ = nullptr;
+  std::unique_ptr<PacketArena> owned_arena_;
   std::vector<std::unique_ptr<Port>> ports_;
 };
 

@@ -10,11 +10,11 @@
 #define THEMIS_SRC_NET_PORT_H_
 
 #include <cstdint>
-#include <deque>
 
 #include "src/net/ecn.h"
 #include "src/net/node.h"
 #include "src/net/packet.h"
+#include "src/net/packet_queue.h"
 #include "src/sim/simulator.h"
 
 namespace themis {
@@ -33,7 +33,12 @@ struct PortStats {
 class Port {
  public:
   Port(Simulator* sim, Node* owner, int index)
-      : sim_(sim), owner_(owner), index_(index) {}
+      : sim_(sim),
+        owner_(owner),
+        index_(index),
+        control_queue_(owner->packet_arena()),
+        data_queue_(owner->packet_arena()),
+        in_flight_(owner->packet_arena()) {}
 
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
@@ -98,12 +103,15 @@ class Port {
   bool busy_ = false;
   bool failed_ = false;
   bool paused_ = false;
-  std::deque<Packet> control_queue_;
-  std::deque<Packet> data_queue_;
+  // Freelist-backed FIFOs (see packet_queue.h): the per-packet fast path
+  // recycles queue nodes through the simulator-wide arena instead of
+  // round-tripping the allocator.
+  PacketQueue control_queue_;
+  PacketQueue data_queue_;
   // Packets serialized onto the wire but not yet delivered. Arrival events
   // capture no packet payload (cheap, allocation-free std::function); the
   // FIFO is valid because per-link arrival times are monotone.
-  std::deque<Packet> in_flight_;
+  PacketQueue in_flight_;
   int64_t queued_data_bytes_ = 0;
 
   EcnProfile ecn_{.enabled = false};

@@ -34,8 +34,12 @@ void SenderQp::PostMessage(uint64_t bytes, std::function<void()> on_complete) {
   ++stats_.messages_posted;
   if (bytes == 0) {
     ++stats_.messages_completed;
+    stats_.last_completion_time = host_->sim()->now();
     if (on_complete) {
       on_complete();
+    }
+    if (flow_completion_hook_ && AllCompleted()) {
+      flow_completion_hook_(*this);
     }
     return;
   }
@@ -149,14 +153,19 @@ void SenderQp::AdvanceUna(uint32_t new_una) {
   head_rtx_fired_ = false;  // a new head: head-loss detection re-arms
   cc_->OnAck(acked_bytes);
 
+  bool completed_any = false;
   while (!completions_.empty() && PsnLt(completions_.front().last_psn, new_una)) {
     CompletionRecord record = std::move(completions_.front());
     completions_.pop_front();
     ++stats_.messages_completed;
     stats_.last_completion_time = host_->sim()->now();
+    completed_any = true;
     if (record.callback) {
       record.callback();
     }
+  }
+  if (completed_any && flow_completion_hook_ && AllCompleted()) {
+    flow_completion_hook_(*this);
   }
   ResetRtoIfNeeded();
   // Window space may have opened, or retransmits may now be moot.

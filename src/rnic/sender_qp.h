@@ -61,6 +61,14 @@ class SenderQp {
   // is acknowledged. Zero-byte messages complete immediately.
   void PostMessage(uint64_t bytes, std::function<void()> on_complete);
 
+  // Flow-completion hook for workload drivers: fires after each message
+  // completion that drains the QP (no posted work left), i.e. when this
+  // flow's last byte has been acknowledged. Repostable flows fire once per
+  // drain. Fires after the message's own on_complete callback.
+  void set_flow_completion_hook(std::function<void(SenderQp&)> hook) {
+    flow_completion_hook_ = std::move(hook);
+  }
+
   // --- NIC scheduler interface --------------------------------------------
   // Also prunes retransmit-queue entries that were acknowledged while
   // queued, so a true return guarantees DequeuePacket() can produce a
@@ -140,6 +148,7 @@ class SenderQp {
   TimePs next_send_time_ = 0;
   TimePs last_progress_time_ = 0;  // last send or cumulative-ack advance
   Timer rto_timer_;
+  std::function<void(SenderQp&)> flow_completion_hook_;
   SenderQpStats stats_;
 };
 

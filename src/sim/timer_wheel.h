@@ -344,9 +344,29 @@ class TimerWheel {
 
   // Collects the level-0 slot under the cursor (if occupied), else jumps the
   // cursor over empty slots — never past the next cascade boundary or the
-  // target's slot.
+  // target's slot. When the target lies at or beyond the end of the current
+  // level-0 window, the whole window is swept in one batched pass: every
+  // entry left in it fires at or before `target`, so collecting them all at
+  // once saves one CollectDue loop iteration (ready-heap prune + target
+  // recompute) per occupied slot. The collected set and the eventual pop
+  // order — ready is a (time, seq) heap — are identical to the slot-by-slot
+  // walk, so traces stay bit-identical.
   void AdvanceStep(TimePs target) {
     const int slot = static_cast<int>((wheel_time_ >> kGranularityBits) & (kSlots - 1));
+    const TimePs window_base_batch = wheel_time_ & ~(Span(0) - 1);
+    const TimePs window_end = window_base_batch + Span(0);
+    if (target >= window_end) {
+      // Slots in [slot, kSlots) of level 0 hold exactly the entries of the
+      // current window (anything mapping below the cursor wrapped from the
+      // next window and has delta >= Span(0), so it lives in level 1+).
+      for (int s = NextOccupiedSlot(0, slot); s >= 0;
+           s = (s + 1 < kSlots) ? NextOccupiedSlot(0, s + 1) : -1) {
+        CollectBucket(s);
+      }
+      wheel_time_ = window_end;
+      Cascade();
+      return;
+    }
     const int next_occupied = NextOccupiedSlot(0, slot);
     if (next_occupied == slot) {
       CollectBucket(slot);

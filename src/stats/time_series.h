@@ -18,6 +18,55 @@ struct Sample {
   double value;
 };
 
+// q in [0, 1] over an unsorted copy of `values`; linear interpolation
+// between adjacent order statistics (the same convention NumPy's default
+// percentile uses). Returns 0 for an empty input.
+inline double PercentileOf(const std::vector<double>& values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// The percentile row every FCT table reports (p50/p95/p99 slowdown).
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+
+  static PercentileSummary Of(const std::vector<double>& values) {
+    PercentileSummary s;
+    s.count = values.size();
+    if (values.empty()) {
+      return s;
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    auto at = [&sorted](double q) {
+      const double rank = q * static_cast<double>(sorted.size() - 1);
+      const auto lo = static_cast<size_t>(rank);
+      const size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    };
+    s.p50 = at(0.50);
+    s.p90 = at(0.90);
+    s.p95 = at(0.95);
+    s.p99 = at(0.99);
+    s.max = sorted.back();
+    return s;
+  }
+};
+
 class TimeSeries {
  public:
   void Record(TimePs time, double value) { samples_.push_back(Sample{time, value}); }
@@ -53,22 +102,14 @@ class TimeSeries {
     return m;
   }
 
-  // q in [0, 1]; nearest-rank on a sorted copy.
+  // q in [0, 1]; interpolated order statistic on a sorted copy.
   double Percentile(double q) const {
-    if (samples_.empty()) {
-      return 0.0;
-    }
     std::vector<double> values;
     values.reserve(samples_.size());
     for (const Sample& s : samples_) {
       values.push_back(s.value);
     }
-    std::sort(values.begin(), values.end());
-    const double rank = q * static_cast<double>(values.size() - 1);
-    const auto lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, values.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
+    return PercentileOf(values, q);
   }
 
   void Clear() { samples_.clear(); }

@@ -1,0 +1,99 @@
+// FlowDriver: runs an open-loop flow workload on an Experiment and measures
+// flow-completion-time slowdown.
+//
+// Each generated flow becomes its own QP pair (sender on src, receiver on
+// dst) with its own ECMP entropy, created at the flow's arrival time — the
+// open-loop contract: arrivals never wait for the fabric. Completion is
+// observed through SenderQp's flow-completion hook (last byte acked), and
+// the FCT clock starts at the flow's *scheduled* arrival, so host-side
+// queueing counts against the fabric, as in open-loop methodology.
+//
+// Slowdown = FCT / ideal-FCT, where ideal-FCT is the same flow's completion
+// time on an idle fabric at full line rate: store-and-forward delivery of
+// every packet along the shortest path plus the final ACK's return. A
+// slowdown of 1.0 is therefore the best any scheme can do.
+
+#ifndef THEMIS_SRC_WORKLOAD_FLOW_DRIVER_H_
+#define THEMIS_SRC_WORKLOAD_FLOW_DRIVER_H_
+
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/stats/time_series.h"
+#include "src/workload/flow_generator.h"
+
+namespace themis {
+
+struct FlowRecord {
+  FlowSpec spec;
+  TimePs ideal_fct = 0;
+  TimePs completion = -1;  // absolute sim time; -1 = not finished
+  bool started = false;
+
+  bool completed() const { return completion >= 0; }
+  TimePs Fct() const { return completion - spec.start_time; }
+  double Slowdown() const {
+    return ideal_fct > 0 ? static_cast<double>(Fct()) / static_cast<double>(ideal_fct) : 0.0;
+  }
+};
+
+struct FctWorkloadResult {
+  size_t flows_total = 0;
+  size_t flows_completed = 0;
+  PercentileSummary slowdown;      // over completed flows
+  double goodput_gbps = 0.0;       // completed payload bytes / makespan
+  TimePs makespan = 0;             // last completion (or deadline if cut off)
+  std::vector<FlowRecord> records;
+  TimeSeries slowdown_series;      // (completion time, slowdown) per flow
+
+  // Fabric-side aggregates snapshotted after the run.
+  double rtx_ratio = 0.0;
+  uint64_t drops = 0;
+  uint64_t nacks = 0;
+  uint64_t timeouts = 0;
+  uint64_t pfc_pauses = 0;
+  ThemisDStats themis;  // all-zero unless the scheme is kThemis
+
+  std::vector<double> Slowdowns() const;
+};
+
+class FlowDriver {
+ public:
+  // The driver registers flow starts on `exp`'s simulator; `exp` must
+  // outlive it. Flow QPs use ids from a high base so they can coexist with
+  // ConnectionManager-created collectives.
+  FlowDriver(Experiment* exp, std::vector<FlowSpec> flows);
+
+  // Schedules every flow arrival. Call exactly once, before running the
+  // simulator; when the last flow completes the driver Stop()s it.
+  void Post();
+
+  size_t flows_completed() const { return completed_; }
+  bool AllDone() const { return completed_ == records_.size(); }
+
+  // Idle-fabric line-rate completion time for `spec` (see header comment).
+  TimePs IdealFct(const FlowSpec& spec) const;
+
+  // Builds the result snapshot (percentiles, goodput, fabric aggregates).
+  FctWorkloadResult Collect() const;
+
+ private:
+  void StartFlow(size_t i);
+  void OnFlowComplete(size_t i);
+
+  static constexpr uint32_t kFlowIdBase = 0x40000000;
+
+  Experiment* exp_;
+  std::vector<FlowRecord> records_;
+  size_t completed_ = 0;
+  bool posted_ = false;
+};
+
+// One-call harness: builds the Experiment, generates the flow list, runs to
+// completion (or `deadline`), and returns the collected result.
+FctWorkloadResult RunFctWorkload(const ExperimentConfig& exp_config, const WorkloadSpec& workload,
+                                 const FlowSizeCdf& cdf, TimePs deadline = kTimeInfinity);
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_WORKLOAD_FLOW_DRIVER_H_

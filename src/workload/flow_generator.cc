@@ -1,0 +1,202 @@
+#include "src/workload/flow_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace themis {
+
+namespace {
+
+// Stream ids for MixSeed: per-host arrival streams use the host ordinal;
+// fabric-wide streams sit above them.
+constexpr uint64_t kIncastStream = 1u << 20;
+constexpr uint64_t kPermutationStream = (1u << 20) + 1;
+
+// Exponential inter-arrival draw with the given mean, floored at 1 ps so
+// arrivals stay strictly ordered per stream.
+TimePs ExpGap(Rng& rng, double mean_ps) {
+  const double u = rng.NextDouble();
+  const double gap = -mean_ps * std::log(1.0 - u);
+  if (gap < 1.0) {
+    return 1;
+  }
+  if (gap > 9e17) {  // beyond any practical window; avoids int64 overflow
+    return kTimeInfinity / 2;
+  }
+  return static_cast<TimePs>(gap);
+}
+
+// Per-host Poisson stream of (arrival, size, dst) tuples appended to `out`.
+// pick_dst draws the destination from the flow's own rng.
+template <typename PickDst>
+void GeneratePoissonStream(const WorkloadSpec& spec, const FlowSizeCdf& cdf, int src,
+                           uint64_t stream, double mean_gap_ps, PickDst&& pick_dst,
+                           std::vector<FlowSpec>* out) {
+  TimePs t = 0;
+  for (uint64_t k = 0;; ++k) {
+    Rng rng(MixSeed(spec.seed, stream, k));
+    t += ExpGap(rng, mean_gap_ps);
+    if (t >= spec.window) {
+      return;
+    }
+    FlowSpec flow;
+    flow.src = src;
+    flow.dst = pick_dst(rng);
+    flow.bytes = cdf.Sample(rng);
+    flow.start_time = t;
+    out->push_back(flow);
+  }
+}
+
+// Appends Poisson incast bursts: fanin distinct senders fire one flow each
+// into the victim simultaneously. `load_share` is the victim-edge load the
+// bursts should offer.
+void GenerateIncastBursts(const WorkloadSpec& spec, const FlowSizeCdf& cdf, int num_hosts,
+                          double edge_bytes_per_sec, double load_share,
+                          std::vector<FlowSpec>* out) {
+  const int fanin = std::min(spec.incast_fanin, num_hosts - 1);
+  assert(fanin > 0 && "incast needs at least one sender");
+  const double burst_bytes = static_cast<double>(fanin) * cdf.MeanBytes();
+  const double bursts_per_sec = load_share * edge_bytes_per_sec / burst_bytes;
+  const double mean_gap_ps = static_cast<double>(kSecond) / bursts_per_sec;
+
+  // Senders are drawn per burst via a partial Fisher-Yates over all hosts
+  // except the victim.
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<size_t>(num_hosts) - 1);
+  for (int h = 0; h < num_hosts; ++h) {
+    if (h != spec.incast_victim) {
+      candidates.push_back(h);
+    }
+  }
+
+  TimePs t = 0;
+  for (uint64_t j = 0;; ++j) {
+    Rng rng(MixSeed(spec.seed, kIncastStream, j));
+    t += ExpGap(rng, mean_gap_ps);
+    if (t >= spec.window) {
+      return;
+    }
+    for (int pick = 0; pick < fanin; ++pick) {
+      const size_t swap_with =
+          static_cast<size_t>(pick) +
+          static_cast<size_t>(rng.Below(candidates.size() - static_cast<size_t>(pick)));
+      std::swap(candidates[static_cast<size_t>(pick)], candidates[swap_with]);
+      FlowSpec flow;
+      flow.src = candidates[static_cast<size_t>(pick)];
+      flow.dst = spec.incast_victim;
+      flow.bytes = cdf.Sample(rng);
+      flow.start_time = t;
+      out->push_back(flow);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> PermutationTargets(uint64_t seed, int num_hosts) {
+  std::vector<int> perm(static_cast<size_t>(num_hosts));
+  for (int i = 0; i < num_hosts; ++i) {
+    perm[static_cast<size_t>(i)] = i;
+  }
+  Rng rng(MixSeed(seed, kPermutationStream, 0));
+  for (int i = num_hosts - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.Below(static_cast<uint64_t>(i) + 1));
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  // Derangement fix-up: no host may target itself.
+  for (int i = 0; i < num_hosts; ++i) {
+    if (perm[static_cast<size_t>(i)] == i) {
+      const int j = (i + 1) % num_hosts;
+      std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+    }
+  }
+  return perm;
+}
+
+std::vector<FlowSpec> GenerateFlows(const WorkloadSpec& spec, const FlowSizeCdf& cdf,
+                                    int num_hosts, Rate edge_rate) {
+  assert(num_hosts >= 2 && "a flow workload needs at least two hosts");
+  assert(spec.load > 0.0 && cdf.MeanBytes() > 0.0);
+  const double edge_bytes_per_sec = static_cast<double>(edge_rate.bps()) / 8.0;
+  const double mean_gap_for = [&](double load) {
+    const double flows_per_sec = load * edge_bytes_per_sec / cdf.MeanBytes();
+    return static_cast<double>(kSecond) / flows_per_sec;
+  }(spec.load);
+
+  std::vector<FlowSpec> flows;
+  switch (spec.pattern) {
+    case TrafficPattern::kUniform:
+      for (int h = 0; h < num_hosts; ++h) {
+        GeneratePoissonStream(
+            spec, cdf, h, static_cast<uint64_t>(h), mean_gap_for,
+            [h, num_hosts](Rng& rng) {
+              const auto draw =
+                  static_cast<int>(rng.Below(static_cast<uint64_t>(num_hosts) - 1));
+              return draw >= h ? draw + 1 : draw;  // uniform over hosts != h
+            },
+            &flows);
+      }
+      break;
+    case TrafficPattern::kPermutation: {
+      const std::vector<int> targets = PermutationTargets(spec.seed, num_hosts);
+      for (int h = 0; h < num_hosts; ++h) {
+        const int dst = targets[static_cast<size_t>(h)];
+        GeneratePoissonStream(
+            spec, cdf, h, static_cast<uint64_t>(h), mean_gap_for,
+            [dst](Rng&) { return dst; }, &flows);
+      }
+      break;
+    }
+    case TrafficPattern::kIncast:
+      GenerateIncastBursts(spec, cdf, num_hosts, edge_bytes_per_sec, spec.load, &flows);
+      break;
+    case TrafficPattern::kIncastMix: {
+      // Background all-to-all at (1 - incast_fraction) of the load plus
+      // bursts carrying the rest — the tail-heavy mix FCT papers report.
+      const double background = spec.load * (1.0 - spec.incast_fraction);
+      if (background > 0.0) {
+        const double flows_per_sec = background * edge_bytes_per_sec / cdf.MeanBytes();
+        const double gap = static_cast<double>(kSecond) / flows_per_sec;
+        for (int h = 0; h < num_hosts; ++h) {
+          GeneratePoissonStream(
+              spec, cdf, h, static_cast<uint64_t>(h), gap,
+              [h, num_hosts](Rng& rng) {
+                const auto draw =
+                    static_cast<int>(rng.Below(static_cast<uint64_t>(num_hosts) - 1));
+                return draw >= h ? draw + 1 : draw;
+              },
+              &flows);
+        }
+      }
+      if (spec.incast_fraction > 0.0) {
+        GenerateIncastBursts(spec, cdf, num_hosts, edge_bytes_per_sec,
+                             spec.load * spec.incast_fraction, &flows);
+      }
+      break;
+    }
+  }
+
+  std::sort(flows.begin(), flows.end(), [](const FlowSpec& a, const FlowSpec& b) {
+    if (a.start_time != b.start_time) {
+      return a.start_time < b.start_time;
+    }
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    if (a.dst != b.dst) {
+      return a.dst < b.dst;
+    }
+    return a.bytes < b.bytes;
+  });
+  if (spec.max_flows > 0 && flows.size() > spec.max_flows) {
+    flows.resize(spec.max_flows);
+  }
+  for (size_t i = 0; i < flows.size(); ++i) {
+    flows[i].index = static_cast<uint32_t>(i);
+  }
+  return flows;
+}
+
+}  // namespace themis

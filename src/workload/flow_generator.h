@@ -1,0 +1,89 @@
+// Open-loop flow generation: traffic matrices x Poisson arrivals x
+// empirical flow sizes.
+//
+// A generator produces a flat, time-sorted list of FlowSpecs as a pure
+// function of (WorkloadSpec, CDF, fabric shape): no simulator state is
+// consulted, so the same spec yields byte-identical flow lists regardless
+// of sweep threading. Every random draw for flow k of stream s comes from
+// a private Rng seeded from (experiment seed, s, k) — the PR 1 determinism
+// contract extended to workloads.
+//
+// Load definition: `load` is the fraction of one edge (host<->ToR) link's
+// bandwidth offered by each host (uniform/permutation) or offered to the
+// incast victim (incast patterns). The Poisson arrival rate is then
+//   lambda = load * edge_bytes_per_sec / mean_flow_bytes.
+
+#ifndef THEMIS_SRC_WORKLOAD_FLOW_GENERATOR_H_
+#define THEMIS_SRC_WORKLOAD_FLOW_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+#include "src/workload/flow_size_cdf.h"
+
+namespace themis {
+
+enum class TrafficPattern : uint8_t {
+  kUniform = 0,      // every host sends, destination uniform over other hosts
+  kPermutation = 1,  // fixed derangement: host i always sends to pi(i)
+  kIncast = 2,       // N:1 synchronized bursts into one victim host
+  kIncastMix = 3,    // uniform background + incast bursts (tail-latency mix)
+};
+
+constexpr const char* TrafficPatternName(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kPermutation:
+      return "permutation";
+    case TrafficPattern::kIncast:
+      return "incast";
+    case TrafficPattern::kIncastMix:
+      return "incast-mix";
+  }
+  return "?";
+}
+
+struct WorkloadSpec {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  double load = 0.5;                  // fraction of edge bandwidth (see above)
+  TimePs window = 2 * kMillisecond;   // flows arrive in [0, window)
+  int incast_fanin = 16;              // senders per incast burst
+  int incast_victim = 0;              // aggregator host ordinal
+  double incast_fraction = 0.5;       // kIncastMix: share of load in bursts
+  uint64_t seed = 1;
+  size_t max_flows = 0;               // 0 = unbounded; safety valve for CIs
+};
+
+// One generated flow. `index` is the position in the time-sorted list and
+// doubles as the flow's identity for seeding and QP allocation.
+struct FlowSpec {
+  int src = 0;
+  int dst = 0;
+  uint64_t bytes = 0;
+  TimePs start_time = 0;
+  uint32_t index = 0;
+};
+
+// Stable per-(stream, draw) seed derivation from the experiment seed.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t index) {
+  uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  state ^= SplitMix64(state) + 0x94D049BB133111EBULL * (index + 1);
+  return SplitMix64(state);
+}
+
+// Generates the open-loop flow list for `spec` over `num_hosts` hosts with
+// edge links of `edge_rate`. Sorted by (start_time, src, dst, bytes); the
+// index field reflects the sorted order.
+std::vector<FlowSpec> GenerateFlows(const WorkloadSpec& spec, const FlowSizeCdf& cdf,
+                                    int num_hosts, Rate edge_rate);
+
+// The fixed sender->receiver derangement kPermutation uses (exposed for
+// tests; a pure function of (seed, num_hosts)).
+std::vector<int> PermutationTargets(uint64_t seed, int num_hosts);
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_WORKLOAD_FLOW_GENERATOR_H_

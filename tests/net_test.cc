@@ -298,6 +298,57 @@ TEST(NetworkTest, ConnectCreatesBidirectionalPorts) {
   EXPECT_EQ(h.a->arrivals.size(), 1u);
 }
 
+TEST(PacketQueueTest, FifoOrderAcrossPushAndPop) {
+  PacketArena arena;
+  PacketQueue queue(&arena);
+  EXPECT_TRUE(queue.empty());
+  for (uint32_t psn = 0; psn < 10; ++psn) {
+    queue.push_back(MakeDataPacket(1, 0, 1, psn, 100, 0));
+  }
+  EXPECT_EQ(queue.size(), 10u);
+  for (uint32_t psn = 0; psn < 10; ++psn) {
+    EXPECT_EQ(queue.front().psn, psn);
+    queue.pop_front();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(PacketQueueTest, ArenaRecyclesNodesAfterWarmup) {
+  PacketArena arena;
+  PacketQueue queue(&arena);
+  // Warm-up: the first pushes carve fresh nodes from a slab.
+  for (uint32_t psn = 0; psn < 8; ++psn) {
+    queue.push_back(MakeDataPacket(1, 0, 1, psn, 100, 0));
+  }
+  queue.clear();
+  EXPECT_EQ(arena.fresh_allocations(), 8u);
+  EXPECT_EQ(arena.recycled_allocations(), 0u);
+  EXPECT_EQ(arena.slab_count(), 1u);
+
+  // Steady state: every further push is served from the freelist.
+  for (int round = 0; round < 100; ++round) {
+    for (uint32_t psn = 0; psn < 8; ++psn) {
+      queue.push_back(MakeDataPacket(1, 0, 1, psn, 100, 0));
+    }
+    queue.clear();
+  }
+  EXPECT_EQ(arena.fresh_allocations(), 8u);
+  EXPECT_EQ(arena.recycled_allocations(), 800u);
+  EXPECT_EQ(arena.slab_count(), 1u);
+}
+
+TEST(PacketQueueTest, QueuesShareOneArena) {
+  PacketArena arena;
+  PacketQueue a(&arena);
+  PacketQueue b(&arena);
+  a.push_back(MakeDataPacket(1, 0, 1, 1, 100, 0));
+  a.pop_front();
+  // b's first push reuses the node a released.
+  b.push_back(MakeDataPacket(1, 0, 1, 2, 100, 0));
+  EXPECT_EQ(arena.fresh_allocations(), 1u);
+  EXPECT_EQ(arena.recycled_allocations(), 1u);
+}
+
 TEST(NetworkTest, NodeIdsAreSequential) {
   Simulator sim;
   Network net(&sim);

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "src/stats/report.h"
 #include "src/stats/samplers.h"
@@ -43,6 +44,56 @@ TEST(TimeSeriesTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(ts.Percentile(1.0), 100.0);
   EXPECT_NEAR(ts.Percentile(0.5), 50.5, 0.01);
   EXPECT_NEAR(ts.Percentile(0.99), 99.01, 0.1);
+}
+
+// Golden percentile values under the NumPy-linear interpolation convention:
+// with 101 values 0..100, the q-quantile is exactly 100*q.
+TEST(PercentileTest, GoldenValuesOnIntegerRamp) {
+  std::vector<double> values;
+  for (int i = 100; i >= 0; --i) {  // reversed: PercentileOf must sort
+    values.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 1.0), 100.0);
+}
+
+// Hand-computed interpolated golden values on a 5-element input: rank
+// q*(n-1) lands between order statistics, e.g. p95 -> rank 3.8 ->
+// 0.2*40 + 0.8*50 = 48.
+TEST(PercentileTest, GoldenInterpolatedValues) {
+  const std::vector<double> values = {30.0, 10.0, 50.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.50), 30.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.90), 46.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.95), 48.0);
+  EXPECT_DOUBLE_EQ(PercentileOf(values, 0.99), 49.6);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(PercentileOf({}, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOf({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(PercentileOf({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(PercentileOf({42.0}, 1.0), 42.0);
+}
+
+TEST(PercentileSummaryTest, MatchesPercentileOfAndCountsSamples) {
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  const PercentileSummary s = PercentileSummary::Of(values);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+
+  const PercentileSummary empty = PercentileSummary::Of({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
 }
 
 TEST(ScalarSummaryTest, ComputesMoments) {
