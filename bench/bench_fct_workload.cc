@@ -30,14 +30,20 @@ struct FctScheme {
   const char* label;
   Scheme scheme;
   SprayMode spray;
+  bool pfc;
 };
 
-// The bench's four-way comparison. Spray mode only matters under kThemis.
+// The bench's comparison set. Spray mode only matters under kThemis. The
+// no-PFC Themis-D variant isolates the spurious-valid-NACK effect: with PFC
+// on, pause storms can delay a packet long enough that the switch forwards
+// a NACK as "valid" (Eq. 3 satisfied) even though the packet was merely
+// stalled, not lost — the receiver then sees the original arrive after all.
 constexpr FctScheme kFctSchemes[] = {
-    {"ECMP", Scheme::kEcmp, SprayMode::kTorEgress},
-    {"RandomSpray", Scheme::kRandomSpray, SprayMode::kTorEgress},
-    {"Themis-S", Scheme::kThemis, SprayMode::kSportRewrite},
-    {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress},
+    {"ECMP", Scheme::kEcmp, SprayMode::kTorEgress, true},
+    {"RandomSpray", Scheme::kRandomSpray, SprayMode::kTorEgress, true},
+    {"Themis-S", Scheme::kThemis, SprayMode::kSportRewrite, true},
+    {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress, true},
+    {"Themis-D/noPFC", Scheme::kThemis, SprayMode::kTorEgress, false},
 };
 
 struct FctCase {
@@ -69,6 +75,7 @@ ExperimentConfig FctFabric(const FctScheme& scheme, bool smoke) {
   config.link_rate = Rate::Gbps(400);
   config.scheme = scheme.scheme;
   config.themis_spray_mode = scheme.spray;
+  config.pfc_enabled = scheme.pfc;
   return config;
 }
 
@@ -128,7 +135,7 @@ int FctMain() {
       runner.Map(cases, [smoke](const FctCase& c) { return RunCase(c, smoke); });
 
   Table table({"dist", "load", "scheme", "flows", "done", "p50", "p95", "p99",
-               "goodput_gbps", "rtx_ratio", "drops"});
+               "goodput_gbps", "rtx_ratio", "drops", "nacks_valid", "spurious"});
   int failures = 0;
   for (const FctOutcome& o : outcomes) {
     const FctWorkloadResult& r = o.result;
@@ -143,7 +150,9 @@ int FctMain() {
                   std::to_string(r.flows_total), std::to_string(r.flows_completed),
                   FormatDouble(r.slowdown.p50, 2), FormatDouble(r.slowdown.p95, 2),
                   FormatDouble(r.slowdown.p99, 2), FormatDouble(r.goodput_gbps, 2),
-                  FormatDouble(r.rtx_ratio, 4), std::to_string(r.drops)});
+                  FormatDouble(r.rtx_ratio, 4), std::to_string(r.drops),
+                  std::to_string(r.themis.nacks_forwarded_valid),
+                  std::to_string(r.themis.nacks_forwarded_spurious)});
   }
 
   std::printf("\n=== FCT slowdown — incast-heavy mix (p50/p95/p99, lower is better) ===\n");
@@ -167,11 +176,29 @@ int FctMain() {
       for (const FctOutcome& o : outcomes) {
         if (o.spec.cdf == cdf && o.spec.load == load &&
             o.spec.scheme.scheme == Scheme::kThemis) {
-          std::printf("  %-12s load=%.1f %-10s %.3f\n", cdf->name().c_str(), load,
+          std::printf("  %-12s load=%.1f %-14s %.3f\n", cdf->name().c_str(), load,
                       o.spec.scheme.label, o.result.slowdown.p99 / spray_p99);
         }
       }
     }
+  }
+
+  // Spurious-valid NACKs: forwarded as valid by the Eq. 3 filter but later
+  // contradicted by the original packet arriving — a PFC-delay artefact.
+  // Comparing Themis-D with and without PFC shows how much of the "valid"
+  // NACK stream is really pause-induced delay, not loss.
+  std::printf("\nspurious-valid NACKs (forwarded as loss, original arrived later):\n");
+  for (const FctOutcome& o : outcomes) {
+    if (o.spec.scheme.scheme != Scheme::kThemis ||
+        o.spec.scheme.spray != SprayMode::kTorEgress) {
+      continue;
+    }
+    const ThemisDStats& t = o.result.themis;
+    std::printf("  %-12s load=%.1f %-14s %llu spurious / %llu genuine of %llu valid\n",
+                o.spec.cdf->name().c_str(), o.spec.load, o.spec.scheme.label,
+                static_cast<unsigned long long>(t.nacks_forwarded_spurious),
+                static_cast<unsigned long long>(t.nacks_forwarded_genuine),
+                static_cast<unsigned long long>(t.nacks_forwarded_valid));
   }
 
   if (const char* csv = std::getenv("THEMIS_FCT_CSV"); csv != nullptr && *csv != '\0') {

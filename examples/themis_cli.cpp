@@ -12,11 +12,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
 #include "src/stats/report.h"
 #include "src/stats/time_series.h"
+#include "src/telemetry/telemetry.h"
 
 namespace {
 
@@ -39,6 +41,8 @@ struct CliOptions {
   bool pfc = true;
   bool compensation = true;
   std::string csv_path;
+  std::string trace_path;
+  std::string counters_path;
 };
 
 [[noreturn]] void Usage(int code) {
@@ -56,7 +60,9 @@ struct CliOptions {
       "  --seed=N             RNG seed (default 1)\n"
       "  --no-pfc             disable priority flow control\n"
       "  --no-compensation    disable Themis NACK compensation\n"
-      "  --csv=PATH           append one result row to a CSV file\n");
+      "  --csv=PATH           append one result row to a CSV file\n"
+      "  --trace=PATH         write a Chrome-trace JSON of sim events (load in Perfetto)\n"
+      "  --counters=PATH      write sampled per-port/per-QP counters as CSV\n");
   std::exit(code);
 }
 
@@ -153,6 +159,10 @@ CliOptions Parse(int argc, char** argv) {
       opts.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(arg, "--csv", &value)) {
       opts.csv_path = value;
+    } else if (ParseValue(arg, "--trace", &value)) {
+      opts.trace_path = value;
+    } else if (ParseValue(arg, "--counters", &value)) {
+      opts.counters_path = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       Usage(1);
@@ -206,9 +216,19 @@ int main(int argc, char** argv) {
   config.themis_compensation = opts.compensation;
 
   Experiment exp(config);
+  std::unique_ptr<Telemetry> telemetry;
+  if (!opts.trace_path.empty() || !opts.counters_path.empty()) {
+    telemetry = std::make_unique<Telemetry>(&exp.sim());
+    exp.AttachTelemetry(telemetry.get());
+    telemetry->StartSampling();
+  }
   auto groups = exp.MakeCrossRackGroups(opts.groups);
   auto result =
       exp.RunCollective(opts.collective, groups, opts.size_mb << 20, 300 * kSecond);
+  if (telemetry != nullptr) {
+    telemetry->StopSampling();
+    telemetry->sampler().SampleNow();  // closing row at end-of-run state
+  }
 
   std::printf("scheme=%s collective=%s transport=%s fabric=%dx%dx%d rate=%lldG size=%lluMiB "
               "groups=%d DCQCN(TI=%lldus,TD=%lldus) seed=%llu\n",
@@ -249,12 +269,34 @@ int main(int argc, char** argv) {
   }
   if (exp.themis() != nullptr) {
     const ThemisDStats t = exp.themis()->AggregateDStats();
-    std::printf("Themis-D:           %llu NACKs seen, %llu blocked, %llu valid, "
-                "%llu compensated\n",
+    std::printf("Themis-D:           %llu NACKs seen, %llu blocked, %llu valid "
+                "(%llu spurious / %llu genuine), %llu compensated\n",
                 static_cast<unsigned long long>(t.nacks_seen),
                 static_cast<unsigned long long>(t.nacks_blocked),
                 static_cast<unsigned long long>(t.nacks_forwarded_valid),
+                static_cast<unsigned long long>(t.nacks_forwarded_spurious),
+                static_cast<unsigned long long>(t.nacks_forwarded_genuine),
                 static_cast<unsigned long long>(t.compensated_nacks));
+  }
+
+  if (telemetry != nullptr) {
+    std::printf("telemetry:          %llu events recorded, %llu evicted\n",
+                static_cast<unsigned long long>(telemetry->trace().recorded()),
+                static_cast<unsigned long long>(telemetry->trace().overwritten()));
+    if (!opts.trace_path.empty()) {
+      if (telemetry->WriteTrace(opts.trace_path)) {
+        std::printf("wrote trace to %s\n", opts.trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s\n", opts.trace_path.c_str());
+      }
+    }
+    if (!opts.counters_path.empty()) {
+      if (telemetry->WriteCounters(opts.counters_path)) {
+        std::printf("wrote counters to %s\n", opts.counters_path.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s\n", opts.counters_path.c_str());
+      }
+    }
   }
 
   if (!opts.csv_path.empty()) {

@@ -41,6 +41,8 @@ struct CliOptions {
   bool pfc = true;
   bool compensation = true;
   std::string csv_path;
+  std::string trace_path;
+  std::string counters_path;
 };
 
 [[noreturn]] void Usage(int code) {
@@ -60,7 +62,9 @@ struct CliOptions {
       "  --max-flows=N        truncate the generated flow list (default: no cap)\n"
       "  --no-pfc             disable priority flow control\n"
       "  --no-compensation    disable Themis NACK compensation\n"
-      "  --csv=PATH           write one row per flow (sizes, FCT, slowdown)\n");
+      "  --csv=PATH           write one row per flow (sizes, FCT, slowdown)\n"
+      "  --trace=PATH         write a Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
+      "  --counters=PATH      write the sampled counter time series as CSV\n");
   std::exit(code);
 }
 
@@ -147,6 +151,10 @@ CliOptions Parse(int argc, char** argv) {
       opts.max_flows = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(arg, "--csv", &value)) {
       opts.csv_path = value;
+    } else if (ParseValue(arg, "--trace", &value)) {
+      opts.trace_path = value;
+    } else if (ParseValue(arg, "--counters", &value)) {
+      opts.counters_path = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       Usage(1);
@@ -207,7 +215,11 @@ int main(int argc, char** argv) {
   workload.max_flows = opts.max_flows;
 
   const TimePs deadline = workload.window * 40;
-  const FctWorkloadResult result = RunFctWorkload(config, workload, *cdf, deadline);
+  FctTelemetryOptions telemetry;
+  telemetry.enabled = !opts.trace_path.empty() || !opts.counters_path.empty();
+  telemetry.trace_path = opts.trace_path;
+  telemetry.counters_path = opts.counters_path;
+  const FctWorkloadResult result = RunFctWorkload(config, workload, *cdf, deadline, telemetry);
 
   std::printf("pattern=%s cdf=%s (mean %.0f B) load=%.2f scheme=%s fabric=%dx%dx%d "
               "rate=%lldG window=%lldus seed=%llu\n",
@@ -233,13 +245,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.timeouts),
               static_cast<unsigned long long>(result.pfc_pauses));
   if (opts.scheme == Scheme::kThemis) {
-    std::printf("Themis-D:           %llu NACKs seen, %llu blocked, %llu valid, "
-                "%llu unmatched, %llu compensated\n",
+    std::printf("Themis-D:           %llu NACKs seen, %llu blocked, %llu valid "
+                "(%llu spurious / %llu genuine), %llu unmatched, %llu compensated\n",
                 static_cast<unsigned long long>(result.themis.nacks_seen),
                 static_cast<unsigned long long>(result.themis.nacks_blocked),
                 static_cast<unsigned long long>(result.themis.nacks_forwarded_valid),
+                static_cast<unsigned long long>(result.themis.nacks_forwarded_spurious),
+                static_cast<unsigned long long>(result.themis.nacks_forwarded_genuine),
                 static_cast<unsigned long long>(result.themis.nacks_forwarded_unmatched),
                 static_cast<unsigned long long>(result.themis.compensated_nacks));
+  }
+  if (telemetry.enabled) {
+    std::printf("telemetry:          %llu trace events recorded (%llu evicted by ring wrap)\n",
+                static_cast<unsigned long long>(result.trace_events),
+                static_cast<unsigned long long>(result.trace_overwritten));
+    if (!opts.trace_path.empty()) {
+      std::printf("wrote Chrome trace to %s\n", opts.trace_path.c_str());
+    }
+    if (!opts.counters_path.empty()) {
+      std::printf("wrote counters CSV to %s\n", opts.counters_path.c_str());
+    }
   }
 
   if (!opts.csv_path.empty()) {

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "src/telemetry/trace.h"
+
 namespace themis {
 
-DcqcnCc::DcqcnCc(Simulator* sim, const DcqcnConfig& config)
+DcqcnCc::DcqcnCc(Simulator* sim, const DcqcnConfig& config, uint32_t flow_id, uint16_t node)
     : sim_(sim),
       config_(config),
+      flow_id_(flow_id),
+      node_(node),
       current_rate_(config.line_rate),
       target_rate_(config.line_rate),
       alpha_timer_(sim, [this] { OnAlphaTimer(); }),
@@ -32,7 +36,10 @@ bool DcqcnCc::TryDecrease() {
   }
   last_decrease_time_ = sim_->now();
   target_rate_ = current_rate_;
+  const uint64_t old_bps = static_cast<uint64_t>(current_rate_.bps());
   current_rate_ = std::max(current_rate_ * (1.0 - alpha_ / 2.0), config_.min_rate);
+  TraceCc(sim_, CcTrace::kRateCut, node_, flow_id_, old_bps,
+          static_cast<uint64_t>(current_rate_.bps()));
   alpha_ = (1.0 - config_.g) * alpha_ + config_.g;
   // Reset the increase machinery.
   timer_stage_ = 0;
@@ -94,6 +101,9 @@ void DcqcnCc::IncreaseEvent(bool from_timer) {
   // Fast recovery (and the blend step of AI/HAI): move halfway to target.
   const int64_t blended = (target_rate_.bps() + current_rate_.bps()) / 2;
   current_rate_ = std::min(Rate(blended), config_.line_rate);
+  TraceCc(sim_, CcTrace::kRateIncrease, node_, flow_id_,
+          static_cast<uint64_t>(current_rate_.bps()),
+          static_cast<uint64_t>(target_rate_.bps()));
 }
 
 void DcqcnCc::OnAlphaTimer() {

@@ -35,7 +35,10 @@ struct DcqcnConfig {
 
 class DcqcnCc : public CongestionControl {
  public:
-  DcqcnCc(Simulator* sim, const DcqcnConfig& config);
+  // `flow_id` and `node` only identify the QP in telemetry traces; the
+  // defaults keep standalone construction (tests) unchanged.
+  DcqcnCc(Simulator* sim, const DcqcnConfig& config, uint32_t flow_id = 0,
+          uint16_t node = 0);
   ~DcqcnCc() override;
 
   const char* name() const override { return "dcqcn"; }
@@ -61,6 +64,8 @@ class DcqcnCc : public CongestionControl {
 
   Simulator* sim_;
   DcqcnConfig config_;
+  uint32_t flow_id_ = 0;  // trace identity only
+  uint16_t node_ = 0;
 
   Rate current_rate_;
   Rate target_rate_;

@@ -313,4 +313,56 @@ uint64_t Experiment::TotalPortDrops() const {
   return total;
 }
 
+namespace {
+
+// Registers the standard per-port column set under "<node>.p<index>.*".
+void RegisterPortCounters(CounterRegistry* registry, const std::string& node_name,
+                          Port* port) {
+  const std::string prefix = node_name + ".p" + std::to_string(port->index());
+  registry->RegisterGauge(prefix + ".queue_bytes", [port] {
+    return static_cast<double>(port->queued_data_bytes());
+  });
+  registry->RegisterCounter(prefix + ".drops", &port->stats().drops);
+  registry->RegisterCounter(prefix + ".ecn_marks", &port->stats().ecn_marks);
+  registry->RegisterCounter(prefix + ".pause_transitions", &port->stats().pause_transitions);
+  registry->RegisterGauge(prefix + ".pause_us",
+                          [port] { return ToMicroseconds(port->PausedTimePs()); });
+}
+
+}  // namespace
+
+void Experiment::AttachTelemetry(Telemetry* telemetry) {
+  CounterRegistry* registry = &telemetry->counters();
+
+  // Node names for the Chrome-trace process list.
+  for (const Switch* sw : topology_.switches) {
+    telemetry->SetNodeName(static_cast<uint16_t>(sw->id()), sw->name());
+  }
+  for (const Node* host : topology_.hosts) {
+    telemetry->SetNodeName(static_cast<uint16_t>(host->id()), host->name());
+  }
+
+  // Per-port queue depth / drops / ECN marks / PFC pause time, for every
+  // connected switch port and every host uplink.
+  for (Switch* sw : topology_.switches) {
+    for (int p = 0; p < sw->port_count(); ++p) {
+      Port* port = sw->port(p);
+      if (port->connected()) {
+        RegisterPortCounters(registry, sw->name(), port);
+      }
+    }
+  }
+  for (RnicHost* host : hosts_) {
+    if (host->uplink()->connected()) {
+      RegisterPortCounters(registry, host->name(), host->uplink());
+    }
+    // Per-QP counters register lazily as QPs are created.
+    host->set_counter_registry(registry);
+  }
+
+  if (themis_ != nullptr) {
+    themis_->AttachTelemetry(registry);
+  }
+}
+
 }  // namespace themis

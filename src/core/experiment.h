@@ -19,6 +19,7 @@
 #include "src/collective/connections.h"
 #include "src/collective/halving_doubling.h"
 #include "src/collective/ring.h"
+#include "src/telemetry/telemetry.h"
 #include "src/themis/deployment.h"
 #include "src/themis/reorder_buffer.h"
 #include "src/topo/leaf_spine.h"
@@ -124,6 +125,14 @@ class Experiment {
   ThemisDeployment* themis() { return themis_.get(); }  // null unless kThemis
   // Aggregate reorder-buffer stats (kSprayReorder only; zeros otherwise).
   ReorderHookStats ReorderStats() const;
+
+  // Wires a Telemetry bundle (constructed on this experiment's sim()) into
+  // the whole stack: names every node for the trace exporter, registers
+  // per-port queue/drop/ECN/pause counters for all switch and host-uplink
+  // ports, arms per-QP counter registration on every host (QPs created
+  // afterwards register lazily), and attaches Themis-D per-flow verdict
+  // counters. Purely observational: determinism hashes are unchanged.
+  void AttachTelemetry(Telemetry* telemetry);
   const ExperimentConfig& config() const { return config_; }
   const QpConfig& qp_config() const { return qp_config_; }
 

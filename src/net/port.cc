@@ -1,11 +1,19 @@
 #include "src/net/port.h"
 
+#include "src/sim/logging.h"
+#include "src/telemetry/trace.h"
+
 namespace themis {
 
 bool Port::Send(Packet pkt) {
   if (failed_) {
     ++stats_.drops;
     stats_.drop_bytes += pkt.wire_bytes;
+    TracePort(sim_, PortTrace::kDrop, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), pkt.flow_id, pkt.wire_bytes,
+              static_cast<uint64_t>(queued_data_bytes_));
+    THEMIS_LOG(LogLevel::kDebug, sim_->now(), "%s port %d: failed-link drop %s",
+               owner_->name().c_str(), index_, pkt.ToString().c_str());
     return false;
   }
   if (pkt.IsControl()) {
@@ -14,17 +22,29 @@ bool Port::Send(Packet pkt) {
     if (queued_data_bytes_ + pkt.wire_bytes > data_queue_capacity_) {
       ++stats_.drops;
       stats_.drop_bytes += pkt.wire_bytes;
+      TracePort(sim_, PortTrace::kDrop, static_cast<uint16_t>(owner_->id()),
+                static_cast<uint8_t>(index_), pkt.flow_id, pkt.wire_bytes,
+                static_cast<uint64_t>(queued_data_bytes_));
+      THEMIS_LOG(LogLevel::kDebug, sim_->now(), "%s port %d: drop-tail %s (queued %lld)",
+                 owner_->name().c_str(), index_, pkt.ToString().c_str(),
+                 static_cast<long long>(queued_data_bytes_));
       return false;
     }
     if (ecn_.ShouldMark(queued_data_bytes_, sim_->rng())) {
       pkt.ecn_ce = true;
       ++stats_.ecn_marks;
+      TracePort(sim_, PortTrace::kEcnMark, static_cast<uint16_t>(owner_->id()),
+                static_cast<uint8_t>(index_), pkt.flow_id,
+                static_cast<uint64_t>(queued_data_bytes_));
     }
     queued_data_bytes_ += pkt.wire_bytes;
     if (queued_data_bytes_ > stats_.max_queue_bytes) {
       stats_.max_queue_bytes = queued_data_bytes_;
     }
     data_queue_.push_back(pkt);
+    TracePort(sim_, PortTrace::kEnqueue, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), pkt.flow_id,
+              static_cast<uint64_t>(queued_data_bytes_), pkt.wire_bytes);
   }
   if (!busy_) {
     StartNextTransmission();
@@ -35,6 +55,13 @@ bool Port::Send(Packet pkt) {
 void Port::SetPaused(bool paused) {
   if (paused && !paused_) {
     ++stats_.pause_transitions;
+    pause_since_ = sim_->now();
+    TracePort(sim_, PortTrace::kPauseOn, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), 0, static_cast<uint64_t>(stats_.paused_time_ps));
+  } else if (!paused && paused_) {
+    stats_.paused_time_ps += sim_->now() - pause_since_;
+    TracePort(sim_, PortTrace::kPauseOff, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), 0, static_cast<uint64_t>(stats_.paused_time_ps));
   }
   paused_ = paused;
   if (!paused_ && !busy_) {
@@ -52,6 +79,9 @@ void Port::StartNextTransmission() {
     data_queue_.pop_front();
     queued_data_bytes_ -= pkt.wire_bytes;
     owner_->OnDataPacketDequeued(pkt);
+    TracePort(sim_, PortTrace::kDequeue, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), pkt.flow_id,
+              static_cast<uint64_t>(queued_data_bytes_));
   } else {
     busy_ = false;
     return;

@@ -28,6 +28,7 @@ struct PortStats {
   uint64_t ecn_marks = 0;
   uint64_t pause_transitions = 0;  // PFC pause assertions received
   int64_t max_queue_bytes = 0;
+  TimePs paused_time_ps = 0;  // closed pause intervals only; see PausedTimePs()
 };
 
 class Port {
@@ -86,6 +87,12 @@ class Port {
   const PortStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PortStats{}; }
 
+  // Total time the data class has spent paused, including the currently
+  // open interval (stats_.paused_time_ps only accumulates on release).
+  TimePs PausedTimePs() const {
+    return stats_.paused_time_ps + (paused_ ? sim_->now() - pause_since_ : 0);
+  }
+
  private:
   void StartNextTransmission();
   void DeliverHeadInFlight();
@@ -103,6 +110,7 @@ class Port {
   bool busy_ = false;
   bool failed_ = false;
   bool paused_ = false;
+  TimePs pause_since_ = 0;  // valid while paused_
   // Freelist-backed FIFOs (see packet_queue.h): the per-packet fast path
   // recycles queue nodes through the simulator-wide arena instead of
   // round-tripping the allocator.

@@ -1,6 +1,7 @@
 #include "src/rnic/receiver_qp.h"
 
 #include "src/rnic/rnic_host.h"
+#include "src/telemetry/trace.h"
 
 namespace themis {
 
@@ -141,6 +142,8 @@ void ReceiverQp::DeliverReadyMessages() {
 
 void ReceiverQp::SendAck() {
   ++stats_.acks_sent;
+  TraceRnic(host_->sim(), RnicTrace::kAckTx, static_cast<uint16_t>(host_->id()), flow_id_,
+            epsn_, ooo_received_.size());
   host_->SendControl(
       MakeControlPacket(PacketType::kAck, flow_id_, host_->id(), src_host_, epsn_,
                         config_.udp_sport));
@@ -150,6 +153,8 @@ void ReceiverQp::SendNack() {
   // Per Section 2.2 the NACK carries only the ePSN — not the PSN of the OOO
   // packet that triggered it. Themis-D must reconstruct that tPSN itself.
   ++stats_.nacks_sent;
+  TraceRnic(host_->sim(), RnicTrace::kNackTx, static_cast<uint16_t>(host_->id()), flow_id_,
+            epsn_, ooo_received_.size());
   host_->SendControl(
       MakeControlPacket(PacketType::kNack, flow_id_, host_->id(), src_host_, epsn_,
                         config_.udp_sport));
@@ -159,6 +164,8 @@ void ReceiverQp::SendIrnNack(uint32_t trigger_psn) {
   // IRN extension: the NACK names both the cumulative ePSN and the OOO PSN
   // that triggered it (the very information commodity NACKs omit).
   ++stats_.nacks_sent;
+  TraceRnic(host_->sim(), RnicTrace::kNackTx, static_cast<uint16_t>(host_->id()), flow_id_,
+            epsn_, ooo_received_.size());
   Packet nack = MakeControlPacket(PacketType::kNack, flow_id_, host_->id(), src_host_,
                                   epsn_, config_.udp_sport);
   nack.aux_psn = trigger_psn & kPsnMask;
@@ -177,7 +184,17 @@ void ReceiverQp::SendSack(uint32_t sacked_psn) {
 
 void ReceiverQp::MaybeSendCnp() {
   const TimePs now = host_->sim()->now();
-  if (now - last_cnp_time_ < config_.cnp_interval) {
+  // Wrapping subtraction, deliberately. last_cnp_time_ starts at
+  // -kTimeInfinity, so for any now > 0 the true difference exceeds the int64
+  // range; the seed engine's (undefined) signed overflow wrapped it negative,
+  // holding the pacing window shut — only a CE mark at exactly t = 0 opens
+  // it. The golden determinism hashes and the experiment tables pin that
+  // behaviour (in-fabric DCQCN reacts to NACKs; see ROADMAP.md), so
+  // reproduce the wrap with well-defined unsigned arithmetic rather than
+  // leaving the UB in place.
+  const TimePs since_last = static_cast<TimePs>(
+      static_cast<uint64_t>(now) - static_cast<uint64_t>(last_cnp_time_));
+  if (since_last < config_.cnp_interval) {
     return;
   }
   last_cnp_time_ = now;

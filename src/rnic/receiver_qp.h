@@ -55,6 +55,8 @@ class ReceiverQp {
 
   uint32_t epsn() const { return epsn_; }
   uint64_t in_order_bytes() const { return in_order_bytes_; }
+  // Current OOO-bitmap occupancy (packets held ahead of ePSN); telemetry gauge.
+  size_t ooo_depth() const { return ooo_received_.size(); }
   uint32_t flow_id() const { return flow_id_; }
   int src_host() const { return src_host_; }
   const ReceiverQpStats& stats() const { return stats_; }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/sim/logging.h"
+
 namespace themis {
 
 void RnicHost::ReceivePacket(const Packet& pkt, int in_port) {
@@ -11,6 +13,8 @@ void RnicHost::ReceivePacket(const Packet& pkt, int in_port) {
       ReceiverQp* qp = receiver_qp(pkt.flow_id);
       if (qp == nullptr) {
         ++host_stats_.unknown_flow_drops;
+        THEMIS_LOG(LogLevel::kWarn, sim()->now(), "%s: no receiver QP for %s", name().c_str(),
+                   pkt.ToString().c_str());
         return;
       }
       qp->HandleData(pkt);
@@ -22,6 +26,8 @@ void RnicHost::ReceivePacket(const Packet& pkt, int in_port) {
       SenderQp* qp = sender_qp(pkt.flow_id);
       if (qp == nullptr) {
         ++host_stats_.unknown_flow_drops;
+        THEMIS_LOG(LogLevel::kWarn, sim()->now(), "%s: no sender QP for %s", name().c_str(),
+                   pkt.ToString().c_str());
         return;
       }
       if (pkt.type == PacketType::kAck) {
@@ -43,6 +49,12 @@ SenderQp* RnicHost::CreateSenderQp(uint32_t flow_id, int dst_host, const QpConfi
   (void)it;
   assert(inserted && "duplicate sender flow id");
   sender_list_.push_back(raw);
+  if (counter_registry_ != nullptr) {
+    const std::string prefix = name() + ".qp" + std::to_string(flow_id);
+    counter_registry_->RegisterCounter(prefix + ".nacks_rx", &raw->stats().nacks_received);
+    counter_registry_->RegisterCounter(prefix + ".rtx_packets", &raw->stats().rtx_packets);
+    counter_registry_->RegisterCounter(prefix + ".timeouts", &raw->stats().timeouts);
+  }
   return raw;
 }
 
@@ -53,6 +65,12 @@ ReceiverQp* RnicHost::CreateReceiverQp(uint32_t flow_id, int src_host, const QpC
   (void)it;
   assert(inserted && "duplicate receiver flow id");
   receiver_list_.push_back(raw);
+  if (counter_registry_ != nullptr) {
+    const std::string prefix = name() + ".qp" + std::to_string(flow_id);
+    counter_registry_->RegisterCounter(prefix + ".nacks_tx", &raw->stats().nacks_sent);
+    counter_registry_->RegisterGauge(
+        prefix + ".ooo_depth", [raw] { return static_cast<double>(raw->ooo_depth()); });
+  }
   return raw;
 }
 

@@ -20,6 +20,7 @@
 #include "src/net/port.h"
 #include "src/rnic/receiver_qp.h"
 #include "src/rnic/sender_qp.h"
+#include "src/telemetry/counters.h"
 
 namespace themis {
 
@@ -57,6 +58,11 @@ class RnicHost : public Node {
   // packets from QPs by hand.
   void set_auto_schedule(bool enabled) { auto_schedule_ = enabled; }
 
+  // Telemetry: when set, every QP created afterwards registers its per-QP
+  // counters (NACKs received, retransmits, OOO-bitmap occupancy) under
+  // "<host>.qp<flow>.*". The registry must outlive the host.
+  void set_counter_registry(CounterRegistry* registry) { counter_registry_ = registry; }
+
   const RnicHostStats& stats() const { return host_stats_; }
 
  private:
@@ -81,6 +87,7 @@ class RnicHost : public Node {
   Timer wake_timer_;
   size_t rr_cursor_ = 0;  // round-robin start index for fairness
   RnicHostStats host_stats_;
+  CounterRegistry* counter_registry_ = nullptr;
 };
 
 }  // namespace themis

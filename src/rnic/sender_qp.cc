@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/rnic/rnic_host.h"
+#include "src/sim/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace themis {
 
@@ -14,7 +16,8 @@ SenderQp::SenderQp(RnicHost* host, uint32_t flow_id, int dst_host, const QpConfi
       rto_timer_(host->sim(), [this] { OnRetransmitTimeout(); }) {
   switch (config_.cc) {
     case CcKind::kDcqcn:
-      cc_ = std::make_unique<DcqcnCc>(host->sim(), config_.dcqcn);
+      cc_ = std::make_unique<DcqcnCc>(host->sim(), config_.dcqcn, flow_id,
+                                      static_cast<uint16_t>(host->id()));
       break;
     case CcKind::kFixedRate:
       cc_ = std::make_unique<FixedRateCc>(config_.fixed_rate);
@@ -107,6 +110,9 @@ Packet SenderQp::DequeuePacket() {
       MakeDataPacket(flow_id_, host_->id(), dst_host_, psn, payload, config_.udp_sport);
   pkt.retransmission = is_rtx;
 
+  TraceRnic(host_->sim(), is_rtx ? RnicTrace::kRetransmit : RnicTrace::kSend,
+            static_cast<uint16_t>(host_->id()), flow_id_, psn, pkt.wire_bytes);
+
   ++stats_.data_packets_sent;
   stats_.data_bytes_sent += pkt.wire_bytes;
   stats_.payload_bytes_sent += payload;
@@ -174,6 +180,8 @@ void SenderQp::AdvanceUna(uint32_t new_una) {
 
 void SenderQp::HandleAck(const Packet& ack) {
   ++stats_.acks_received;
+  TraceRnic(host_->sim(), RnicTrace::kAckRx, static_cast<uint16_t>(host_->id()), flow_id_,
+            ack.psn, ack.aux_psn);
   AdvanceUna(ack.psn);
   if (config_.transport == TransportKind::kMultipath) {
     ProcessSack(ack.aux_psn);
@@ -204,6 +212,8 @@ void SenderQp::ProcessSack(uint32_t sacked_psn) {
 
 void SenderQp::HandleNack(const Packet& nack) {
   ++stats_.nacks_received;
+  TraceRnic(host_->sim(), RnicTrace::kNackRx, static_cast<uint16_t>(host_->id()), flow_id_,
+            nack.psn, nack.aux_psn);
   // A NACK's ePSN cumulatively acknowledges everything before it.
   AdvanceUna(nack.psn);
 
@@ -244,6 +254,7 @@ void SenderQp::HandleNack(const Packet& nack) {
 void SenderQp::HandleCnp(const Packet& cnp) {
   (void)cnp;
   ++stats_.cnps_received;
+  TraceRnic(host_->sim(), RnicTrace::kCnpRx, static_cast<uint16_t>(host_->id()), flow_id_);
   cc_->OnCnp();
 }
 
@@ -259,6 +270,10 @@ void SenderQp::OnRetransmitTimeout() {
     return;
   }
   ++stats_.timeouts;
+  TraceRnic(host_->sim(), RnicTrace::kTimeout, static_cast<uint16_t>(host_->id()), flow_id_,
+            snd_una_);
+  THEMIS_LOG(LogLevel::kDebug, host_->sim()->now(), "flow %u: RTO fired, snd_una=%u",
+             flow_id_, snd_una_);
   if (config_.transport == TransportKind::kGoBackN) {
     for (uint32_t psn = snd_una_; PsnLt(psn, snd_nxt_); psn = PsnAdd(psn, 1)) {
       EnqueueRetransmit(psn);

@@ -7,6 +7,7 @@
 #ifndef THEMIS_SRC_SIM_LOGGING_H_
 #define THEMIS_SRC_SIM_LOGGING_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 
@@ -42,10 +43,36 @@ class Logger {
                  kNames[static_cast<int>(level)], message.c_str());
   }
 
+  // printf-style variant for THEMIS_LOG; formats into a stack buffer only
+  // after the level check has already passed.
+  __attribute__((format(printf, 4, 5))) void Logf(LogLevel level, TimePs at, const char* fmt,
+                                                  ...) {
+    if (!Enabled(level)) {
+      return;
+    }
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    Log(level, at, buf);
+  }
+
  private:
   LogLevel level_ = LogLevel::kNone;
 };
 
 }  // namespace themis
+
+// Lazy logging: none of the arguments — including the format arguments,
+// which often involve std::string construction or ToString() calls — are
+// evaluated unless the level is enabled. Call sites pay one branch when
+// logging is off (the default).
+#define THEMIS_LOG(level, at, ...)                                \
+  do {                                                            \
+    if (::themis::Logger::Global().Enabled(level)) {              \
+      ::themis::Logger::Global().Logf((level), (at), __VA_ARGS__); \
+    }                                                             \
+  } while (0)
 
 #endif  // THEMIS_SRC_SIM_LOGGING_H_

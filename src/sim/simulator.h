@@ -23,6 +23,8 @@
 
 namespace themis {
 
+class TraceSink;  // src/telemetry/trace.h; the executive only carries the pointer
+
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
@@ -107,12 +109,19 @@ class Simulator {
   uint64_t events_executed() const { return events_executed_; }
   uint64_t events_scheduled() const { return queue_.total_scheduled(); }
 
+  // Telemetry attachment point (src/telemetry): record sites reach the sink
+  // through the simulator every model object already holds. Null (the
+  // default) means tracing is off; the sink must outlive the simulation.
+  TraceSink* trace_sink() const { return trace_sink_; }
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
  private:
   TimePs now_ = 0;
   bool stopped_ = false;
   uint64_t events_executed_ = 0;
   EventQueue queue_;
   Rng rng_;
+  TraceSink* trace_sink_ = nullptr;
 };
 
 // A cancellable, re-armable one-shot timer backed by the timer wheel.

@@ -1,0 +1,98 @@
+// Named counters and gauges, registered intrusively.
+//
+// Components own their statistics as plain struct members (PortStats,
+// SenderQp retransmit counts, ThemisD per-flow verdict tallies); the
+// CounterRegistry stores *pointers* into those structs plus a name, so
+// incrementing a counter on the packet path stays a plain `++field` with no
+// telemetry code, no lookup, and no allocation. The registry is only walked
+// when somebody reads it — the periodic CounterSampler (sampler.h) or a
+// final CSV export.
+//
+// Two flavours:
+//   * counter — monotonic uint64 read through a stable pointer
+//     (e.g. drops, ECN marks, NACKs, retransmits);
+//   * gauge   — an arbitrary probe function returning the current value
+//     (e.g. queue depth in bytes, OOO-bitmap occupancy, accumulated PFC
+//     pause time including the open interval).
+//
+// Registration order is deterministic (it follows model construction order),
+// so exported CSV columns are stable across runs and sweep thread counts.
+
+#ifndef THEMIS_SRC_TELEMETRY_COUNTERS_H_
+#define THEMIS_SRC_TELEMETRY_COUNTERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace themis {
+
+class CounterRegistry {
+ public:
+  enum class Kind : uint8_t {
+    kCounter,  // monotonic, read via u64 pointer
+    kGauge,    // instantaneous, read via probe
+  };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    const uint64_t* u64 = nullptr;     // kCounter
+    std::function<double()> probe;     // kGauge
+  };
+
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  // `value` must stay valid (stable address) for the registry's lifetime:
+  // components register fields of structs they own behind stable storage.
+  void RegisterCounter(std::string name, const uint64_t* value) {
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::kCounter;
+    e.u64 = value;
+    entries_.push_back(std::move(e));
+  }
+
+  void RegisterGauge(std::string name, std::function<double()> probe) {
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::kGauge;
+    e.probe = std::move(probe);
+    entries_.push_back(std::move(e));
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const Entry& at(size_t i) const { return entries_[i]; }
+
+  double Read(size_t i) const { return Read(entries_[i]); }
+
+  static double Read(const Entry& e) {
+    if (e.kind == Kind::kCounter) {
+      return static_cast<double>(*e.u64);
+    }
+    return e.probe();
+  }
+
+  // Linear scan by exact name; -1 if absent. For tests and one-off reads,
+  // not the sampling path.
+  int Find(const std::string& name) const {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_TELEMETRY_COUNTERS_H_

@@ -1,0 +1,202 @@
+#include "src/telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+namespace themis {
+namespace {
+
+// Fixed-format helpers so exported files are byte-identical across runs and
+// platforms (the determinism test hashes trace output).
+std::string MicrosString(TimePs ps) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", static_cast<double>(ps) / 1e6);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* TraceEventName(TraceCategory category, uint8_t code) {
+  switch (category) {
+    case TraceCategory::kPort:
+      switch (static_cast<PortTrace>(code)) {
+        case PortTrace::kEnqueue:
+          return "port.enqueue";
+        case PortTrace::kDequeue:
+          return "port.dequeue";
+        case PortTrace::kDrop:
+          return "port.drop";
+        case PortTrace::kEcnMark:
+          return "port.ecn_mark";
+        case PortTrace::kPauseOn:
+          return "port.pause_on";
+        case PortTrace::kPauseOff:
+          return "port.pause_off";
+      }
+      break;
+    case TraceCategory::kRnic:
+      switch (static_cast<RnicTrace>(code)) {
+        case RnicTrace::kSend:
+          return "rnic.send";
+        case RnicTrace::kRetransmit:
+          return "rnic.retransmit";
+        case RnicTrace::kAckRx:
+          return "rnic.ack_rx";
+        case RnicTrace::kNackRx:
+          return "rnic.nack_rx";
+        case RnicTrace::kCnpRx:
+          return "rnic.cnp_rx";
+        case RnicTrace::kTimeout:
+          return "rnic.timeout";
+        case RnicTrace::kNackTx:
+          return "rnic.nack_tx";
+        case RnicTrace::kAckTx:
+          return "rnic.ack_tx";
+      }
+      break;
+    case TraceCategory::kThemis:
+      switch (static_cast<ThemisTrace>(code)) {
+        case ThemisTrace::kFlowCreate:
+          return "themis.flow_create";
+        case ThemisTrace::kFlowHit:
+          return "themis.flow_hit";
+        case ThemisTrace::kFlowMiss:
+          return "themis.flow_miss";
+        case ThemisTrace::kRingPush:
+          return "themis.ring_push";
+        case ThemisTrace::kRingPop:
+          return "themis.ring_pop";
+        case ThemisTrace::kNackValid:
+          return "themis.nack_valid";
+        case ThemisTrace::kNackBlocked:
+          return "themis.nack_blocked";
+        case ThemisTrace::kNackUnmatched:
+          return "themis.nack_unmatched";
+        case ThemisTrace::kCompensate:
+          return "themis.compensate";
+        case ThemisTrace::kCompCancelled:
+          return "themis.comp_cancelled";
+        case ThemisTrace::kSpuriousValid:
+          return "themis.spurious_valid";
+      }
+      break;
+    case TraceCategory::kCc:
+      switch (static_cast<CcTrace>(code)) {
+        case CcTrace::kRateCut:
+          return "cc.rate_cut";
+        case CcTrace::kRateIncrease:
+          return "cc.rate_increase";
+      }
+      break;
+    case TraceCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void WriteChromeTrace(const TraceSink& sink, std::ostream& out, const NodeNamer& namer) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+
+  // Metadata: one process_name record per node that appears in the ring, so
+  // Perfetto's track list reads "tor0"/"host3" instead of bare pids.
+  std::set<uint16_t> nodes;
+  sink.ForEach([&nodes](const TraceEvent& e) { nodes.insert(e.node); });
+  for (uint16_t node : nodes) {
+    std::string name = namer ? namer(node) : "node" + std::to_string(node);
+    if (name.empty()) {
+      name = "node" + std::to_string(node);
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+        << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
+
+  sink.ForEach([&out, &first](const TraceEvent& e) {
+    const auto category = static_cast<TraceCategory>(e.category);
+    // Port events get the port index as tid (one Perfetto track per egress
+    // port); everything else tracks by flow/QP id.
+    const uint32_t tid = category == TraceCategory::kPort ? e.port : e.id;
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << TraceEventName(category, e.code) << "\",\"cat\":\""
+        << TraceCategoryName(category) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+        << MicrosString(e.time) << ",\"pid\":" << e.node << ",\"tid\":" << tid
+        << ",\"args\":{\"id\":" << e.id << ",\"a\":" << e.a << ",\"b\":" << e.b << "}}";
+  });
+
+  out << "],\"displayTimeUnit\":\"ns\"}";
+  out << "\n";
+}
+
+bool WriteChromeTraceFile(const TraceSink& sink, const std::string& path,
+                          const NodeNamer& namer) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteChromeTrace(sink, out, namer);
+  return static_cast<bool>(out);
+}
+
+void WriteCountersCsv(const CounterSampler& sampler, std::ostream& out) {
+  const CounterRegistry& registry = sampler.registry();
+  out << "time_us";
+  for (size_t i = 0; i < registry.size(); ++i) {
+    out << "," << registry.at(i).name;
+  }
+  out << "\n";
+
+  const auto& times = sampler.sample_times();
+  for (size_t row = 0; row < times.size(); ++row) {
+    out << MicrosString(times[row]);
+    for (size_t col = 0; col < registry.size(); ++col) {
+      double value = 0.0;
+      if (col < sampler.series_count()) {
+        const TimeSeries& series = sampler.series(col);
+        // A late-registered entry's series is aligned to the *last* ticks;
+        // earlier rows read as zero.
+        const size_t offset = times.size() - series.size();
+        if (row >= offset) {
+          value = series.samples()[row - offset].value;
+        }
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out << "," << buf;
+    }
+    out << "\n";
+  }
+}
+
+bool WriteCountersCsvFile(const CounterSampler& sampler, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteCountersCsv(sampler, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace themis

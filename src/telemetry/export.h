@@ -1,0 +1,39 @@
+// Exporters: TraceSink -> Chrome trace_event JSON, CounterSampler -> CSV.
+//
+// The JSON output is the Trace Event Format's object form
+// ({"traceEvents": [...]}) using instant events, so the file loads directly
+// in chrome://tracing and ui.perfetto.dev. pid = node id (named via the
+// process_name metadata records), tid = port index for port events and
+// flow/QP id otherwise, ts = simulation time in microseconds.
+//
+// The CSV has one row per sample tick (`time_us` first column) and one
+// column per registered counter/gauge; ticks from before a late-registered
+// entry existed are zero-filled so every row has the full column set.
+
+#ifndef THEMIS_SRC_TELEMETRY_EXPORT_H_
+#define THEMIS_SRC_TELEMETRY_EXPORT_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "src/telemetry/sampler.h"
+#include "src/telemetry/trace.h"
+
+namespace themis {
+
+// Optional node-id -> display-name resolver for the Perfetto process list;
+// nullptr falls back to "node<id>".
+using NodeNamer = std::function<std::string(uint16_t)>;
+
+void WriteChromeTrace(const TraceSink& sink, std::ostream& out,
+                      const NodeNamer& namer = nullptr);
+bool WriteChromeTraceFile(const TraceSink& sink, const std::string& path,
+                          const NodeNamer& namer = nullptr);
+
+void WriteCountersCsv(const CounterSampler& sampler, std::ostream& out);
+bool WriteCountersCsvFile(const CounterSampler& sampler, const std::string& path);
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_TELEMETRY_EXPORT_H_

@@ -1,0 +1,64 @@
+// Periodic snapshotting of a CounterRegistry into src/stats time series.
+//
+// A CounterSampler rides a PeriodicTimer: every `period` of simulation time
+// it reads every registered counter/gauge and appends one Sample to that
+// entry's TimeSeries. Sampling only *reads* model state — it schedules its
+// own timer events but never perturbs packets, the RNG, or component state,
+// so determinism hashes over model state are unchanged by attaching one.
+//
+// Entries may be registered mid-run (per-flow counters appear when the flow
+// table provisions the flow); a late entry's series simply starts at the
+// next tick. The CSV exporter (export.h) aligns columns by timestamp and
+// zero-fills ticks from before an entry existed.
+
+#ifndef THEMIS_SRC_TELEMETRY_SAMPLER_H_
+#define THEMIS_SRC_TELEMETRY_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+#include "src/stats/time_series.h"
+#include "src/telemetry/counters.h"
+
+namespace themis {
+
+class CounterSampler {
+ public:
+  CounterSampler(Simulator* sim, CounterRegistry* registry)
+      : sim_(sim), registry_(registry), timer_(sim, [this] { SampleNow(); }) {}
+
+  CounterSampler(const CounterSampler&) = delete;
+  CounterSampler& operator=(const CounterSampler&) = delete;
+
+  void Start(TimePs period) { timer_.Start(period); }
+  void Stop() { timer_.Cancel(); }
+  bool running() const { return timer_.running(); }
+
+  // Takes one snapshot at sim->now(). Called by the timer; also callable
+  // directly (e.g. once after the run for a final row).
+  void SampleNow() {
+    sample_times_.push_back(sim_->now());
+    series_.resize(registry_->size());  // pick up late registrants
+    for (size_t i = 0; i < registry_->size(); ++i) {
+      series_[i].Record(sim_->now(), registry_->Read(i));
+    }
+  }
+
+  const std::vector<TimePs>& sample_times() const { return sample_times_; }
+  size_t series_count() const { return series_.size(); }
+  const TimeSeries& series(size_t i) const { return series_[i]; }
+  const CounterRegistry& registry() const { return *registry_; }
+
+ private:
+  Simulator* sim_;
+  CounterRegistry* registry_;
+  PeriodicTimer timer_;
+  std::vector<TimePs> sample_times_;
+  std::vector<TimeSeries> series_;  // parallel to registry entries
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_TELEMETRY_SAMPLER_H_

@@ -32,6 +32,7 @@ std::unique_ptr<ThemisDeployment> ThemisDeployment::Install(
     auto hook = std::make_unique<ThemisD>(deployment->config_.themis_d, is_cross_rack);
     tor->AddHook(hook.get());
     deployment->d_hooks_.push_back(std::move(hook));
+    deployment->d_tor_names_.push_back(tor->name());
   }
 
   if (config.spray_mode == SprayMode::kSportRewrite) {
@@ -93,6 +94,12 @@ void ThemisDeployment::HandleLinkRecovery() {
   ApplySprayPolicy();
 }
 
+void ThemisDeployment::AttachTelemetry(CounterRegistry* registry) {
+  for (size_t i = 0; i < d_hooks_.size(); ++i) {
+    d_hooks_[i]->set_telemetry(registry, d_tor_names_[i] + ".themis");
+  }
+}
+
 ThemisDStats ThemisDeployment::AggregateDStats() const {
   ThemisDStats total;
   for (const auto& hook : d_hooks_) {
@@ -103,6 +110,8 @@ ThemisDStats ThemisDeployment::AggregateDStats() const {
     total.nacks_blocked += s.nacks_blocked;
     total.nacks_forwarded_valid += s.nacks_forwarded_valid;
     total.nacks_forwarded_unmatched += s.nacks_forwarded_unmatched;
+    total.nacks_forwarded_spurious += s.nacks_forwarded_spurious;
+    total.nacks_forwarded_genuine += s.nacks_forwarded_genuine;
     total.compensated_nacks += s.compensated_nacks;
     total.compensations_cancelled += s.compensations_cancelled;
     total.compensations_suppressed += s.compensations_suppressed;

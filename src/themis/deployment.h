@@ -49,6 +49,11 @@ class ThemisDeployment {
   const std::vector<std::unique_ptr<ThemisD>>& d_hooks() const { return d_hooks_; }
   const std::vector<std::unique_ptr<ThemisS>>& s_hooks() const { return s_hooks_; }
 
+  // Telemetry: each ToR's Themis-D registers its per-flow NACK-verdict
+  // counters under "<tor>.themis.flow<id>.*". Registry must outlive the
+  // deployment.
+  void AttachTelemetry(CounterRegistry* registry);
+
  private:
   ThemisDeployment() = default;
 
@@ -58,6 +63,7 @@ class ThemisDeployment {
   ThemisDeploymentConfig config_;
   std::unordered_map<int, const Switch*> host_node_to_tor_;
   std::vector<std::unique_ptr<ThemisD>> d_hooks_;
+  std::vector<std::string> d_tor_names_;  // parallel to d_hooks_
   std::vector<std::unique_ptr<ThemisS>> s_hooks_;
   bool degraded_ = false;
 };

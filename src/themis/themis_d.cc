@@ -1,5 +1,7 @@
 #include "src/themis/themis_d.h"
 
+#include "src/telemetry/trace.h"
+
 namespace themis {
 
 bool ThemisD::OnIngress(Switch& sw, Packet& pkt, int in_port) {
@@ -21,19 +23,20 @@ bool ThemisD::OnIngress(Switch& sw, Packet& pkt, int in_port) {
     if (!sw.IsHostPort(in_port)) {
       return true;
     }
-    return HandleNack(pkt);
+    return HandleNack(sw, pkt);
   }
   if (pkt.type == PacketType::kAck && sw.IsHostPort(in_port)) {
     // Snoop the NIC's cumulative ACK stream (the ACK carries the ePSN).
     auto it = flows_.find(pkt.flow_id);
     if (it != flows_.end()) {
-      ObserveCumulativeAck(it->second, pkt.psn);
+      ObserveCumulativeAck(sw, pkt.flow_id, it->second, pkt.psn);
     }
   }
   return true;
 }
 
-void ThemisD::ObserveCumulativeAck(FlowEntry& entry, uint32_t epsn) {
+void ThemisD::ObserveCumulativeAck(Switch& sw, uint32_t flow_id, FlowEntry& entry,
+                                   uint32_t epsn) {
   if (!entry.cum_ack_seen || PsnGt(epsn, entry.cum_ack)) {
     entry.cum_ack = epsn;
     entry.cum_ack_seen = true;
@@ -43,7 +46,44 @@ void ThemisD::ObserveCumulativeAck(FlowEntry& entry, uint32_t epsn) {
   if (entry.valid && PsnLt(entry.blocked_epsn, entry.cum_ack)) {
     entry.valid = false;
     ++stats_.compensations_cancelled;
+    TraceThemis(sw.sim(), ThemisTrace::kCompCancelled, static_cast<uint16_t>(sw.id()),
+                flow_id, entry.blocked_epsn);
   }
+  // A cumulative ACK passing a pending valid verdict means the receiver got
+  // the audited ePSN — yet this hook saw neither the original nor a
+  // retransmission while the window was open. A retransmission crossing the
+  // last hop is always caught in HandleData, so the packet that satisfied
+  // the receiver must be the original, slipped past *before* the NACK armed
+  // the audit (it was queued below this hook or in flight on the host
+  // link). The forwarded NACK was spurious.
+  if (entry.valid_pending && PsnGt(entry.cum_ack, entry.valid_epsn)) {
+    entry.valid_pending = false;
+    ++stats_.nacks_forwarded_spurious;
+    if (counter_registry_ != nullptr) {
+      ++TelemetryFor(flow_id).nacks_spurious;
+    }
+    TraceThemis(sw.sim(), ThemisTrace::kSpuriousValid, static_cast<uint16_t>(sw.id()),
+                flow_id, entry.valid_epsn);
+  }
+}
+
+ThemisD::FlowTelemetry& ThemisD::TelemetryFor(uint32_t flow_id) {
+  auto [it, inserted] = flow_telemetry_.try_emplace(flow_id);
+  if (inserted && counter_registry_ != nullptr) {
+    FlowTelemetry* t = &it->second;
+    const std::string prefix = counter_prefix_ + ".flow" + std::to_string(flow_id);
+    counter_registry_->RegisterCounter(prefix + ".nack_valid", &t->nacks_valid);
+    counter_registry_->RegisterCounter(prefix + ".nack_blocked", &t->nacks_blocked);
+    counter_registry_->RegisterCounter(prefix + ".nack_spurious", &t->nacks_spurious);
+    counter_registry_->RegisterGauge(prefix + ".bepsn_lag", [this, flow_id] {
+      auto fit = flows_.find(flow_id);
+      if (fit == flows_.end() || !fit->second.valid || !fit->second.cum_ack_seen) {
+        return 0.0;
+      }
+      return static_cast<double>(PsnDiff(fit->second.blocked_epsn, fit->second.cum_ack));
+    });
+  }
+  return it->second;
 }
 
 bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
@@ -52,8 +92,32 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
     // Models the connection-setup handshake interception that provisions
     // the per-QP ring queue and flow-table entry.
     ++stats_.flows_created;
+    TraceThemis(sw.sim(), ThemisTrace::kFlowCreate, static_cast<uint16_t>(sw.id()),
+                pkt.flow_id);
+    if (counter_registry_ != nullptr) {
+      TelemetryFor(pkt.flow_id);  // provision the per-flow counter columns
+    }
   }
   FlowEntry& entry = it->second;
+
+  // Verdict audit: the ePSN of a valid-forwarded NACK arriving as an
+  // *original* transmission proves the packet was delayed (e.g. behind a PFC
+  // pause on its path), not lost — the forwarded NACK was spurious and the
+  // retransmission it triggers is pure waste. The sender's retransmission
+  // arriving first proves the opposite.
+  if (entry.valid_pending && pkt.psn == entry.valid_epsn) {
+    entry.valid_pending = false;
+    if (pkt.retransmission) {
+      ++stats_.nacks_forwarded_genuine;
+    } else {
+      ++stats_.nacks_forwarded_spurious;
+      if (counter_registry_ != nullptr) {
+        ++TelemetryFor(pkt.flow_id).nacks_spurious;
+      }
+      TraceThemis(sw.sim(), ThemisTrace::kSpuriousValid, static_cast<uint16_t>(sw.id()),
+                  pkt.flow_id, pkt.psn);
+    }
+  }
 
   // NACK compensation (Section 3.4), checked before the packet is enqueued.
   if (entry.valid) {
@@ -61,6 +125,8 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
       // The supposedly-lost packet arrived: no compensation needed.
       entry.valid = false;
       ++stats_.compensations_cancelled;
+      TraceThemis(sw.sim(), ThemisTrace::kCompCancelled, static_cast<uint16_t>(sw.id()),
+                  pkt.flow_id, entry.blocked_epsn);
     } else if (PsnGt(pkt.psn, entry.blocked_epsn) && SamePath(pkt.psn, entry.blocked_epsn)) {
       // A later packet from the *same path* overtook BePSN: the BePSN
       // packet is genuinely lost. Generate the NACK the RNIC cannot.
@@ -70,28 +136,40 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
       sw.Forward(nack);
       entry.valid = false;
       ++stats_.compensated_nacks;
+      TraceThemis(sw.sim(), ThemisTrace::kCompensate, static_cast<uint16_t>(sw.id()),
+                  pkt.flow_id, entry.blocked_epsn);
     }
   }
 
   entry.queue.Push(pkt.psn);
   ++stats_.data_tracked;
+  TraceThemis(sw.sim(), ThemisTrace::kRingPush, static_cast<uint16_t>(sw.id()), pkt.flow_id,
+              pkt.psn, entry.queue.size());
   return true;
 }
 
-bool ThemisD::HandleNack(const Packet& pkt) {
+bool ThemisD::HandleNack(Switch& sw, const Packet& pkt) {
   auto it = flows_.find(pkt.flow_id);
   if (it == flows_.end()) {
+    TraceThemis(sw.sim(), ThemisTrace::kFlowMiss, static_cast<uint16_t>(sw.id()),
+                pkt.flow_id, pkt.psn);
     return true;  // untracked flow (e.g. intra-rack): fail open
   }
   ++stats_.nacks_seen;
+  TraceThemis(sw.sim(), ThemisTrace::kFlowHit, static_cast<uint16_t>(sw.id()), pkt.flow_id,
+              pkt.psn);
   FlowEntry& entry = it->second;
   // A NACK's ePSN is also a cumulative acknowledgment.
-  ObserveCumulativeAck(entry, pkt.psn);
+  ObserveCumulativeAck(sw, pkt.flow_id, entry, pkt.psn);
 
   // The NACK carries only the ePSN; recover the tPSN from the ring queue.
   const std::optional<uint32_t> tpsn = entry.queue.PopUntilGreater(pkt.psn);
+  TraceThemis(sw.sim(), ThemisTrace::kRingPop, static_cast<uint16_t>(sw.id()), pkt.flow_id,
+              tpsn.value_or(0), entry.queue.size());
   if (!tpsn.has_value()) {
     ++stats_.nacks_forwarded_unmatched;
+    TraceThemis(sw.sim(), ThemisTrace::kNackUnmatched, static_cast<uint16_t>(sw.id()),
+                pkt.flow_id, pkt.psn);
     return true;  // cannot prove anything: fail open
   }
 
@@ -99,6 +177,15 @@ bool ThemisD::HandleNack(const Packet& pkt) {
     // Eq. 3 holds: the OOO packet shared the expected packet's path, so the
     // expected packet is genuinely lost. Let the NACK through.
     ++stats_.nacks_forwarded_valid;
+    // Arm the verdict audit: watch whether this ePSN's original still shows
+    // up (spurious) or the retransmission wins (genuine).
+    entry.valid_epsn = pkt.psn;
+    entry.valid_pending = true;
+    if (counter_registry_ != nullptr) {
+      ++TelemetryFor(pkt.flow_id).nacks_valid;
+    }
+    TraceThemis(sw.sim(), ThemisTrace::kNackValid, static_cast<uint16_t>(sw.id()),
+                pkt.flow_id, *tpsn, pkt.psn);
     return true;
   }
 
@@ -107,6 +194,11 @@ bool ThemisD::HandleNack(const Packet& pkt) {
   // triggering packet and is still queued on the last hop): then it is
   // provably not lost and no compensation may ever fire for it.
   ++stats_.nacks_blocked;
+  if (counter_registry_ != nullptr) {
+    ++TelemetryFor(pkt.flow_id).nacks_blocked;
+  }
+  TraceThemis(sw.sim(), ThemisTrace::kNackBlocked, static_cast<uint16_t>(sw.id()),
+              pkt.flow_id, *tpsn, pkt.psn);
   if (entry.queue.Contains(pkt.psn, pkt.psn)) {
     entry.valid = false;
     ++stats_.compensations_suppressed;

@@ -21,8 +21,10 @@
 #define THEMIS_SRC_THEMIS_THEMIS_D_H_
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 
+#include "src/telemetry/counters.h"
 #include "src/themis/psn_queue.h"
 #include "src/topo/switch.h"
 
@@ -42,6 +44,16 @@ struct ThemisDStats {
   uint64_t nacks_blocked = 0;
   uint64_t nacks_forwarded_valid = 0;
   uint64_t nacks_forwarded_unmatched = 0;  // fail-open: no tPSN identified
+  // Verdict audit for valid-forwarded NACKs: if the ePSN packet later
+  // arrives as an original (non-retransmission) — or the receiver's
+  // cumulative ACK passes the ePSN without this hook seeing a
+  // retransmission, proving the original slipped past before the audit
+  // armed — the "loss" Eq. 3 inferred was really delay — typically PFC
+  // pause stalling the same path (ROADMAP "PFC-aware NACK validity") — and
+  // the forwarded NACK was spurious. If the sender's retransmission shows
+  // up first, the verdict was genuine.
+  uint64_t nacks_forwarded_spurious = 0;
+  uint64_t nacks_forwarded_genuine = 0;
   uint64_t compensated_nacks = 0;          // NACKs generated on the RNIC's behalf
   uint64_t compensations_cancelled = 0;    // BePSN packet showed up after all
   uint64_t compensations_suppressed = 0;   // BePSN was already past the ToR at block time
@@ -73,6 +85,16 @@ class ThemisD : public SwitchHook {
   const ThemisDStats& stats() const { return stats_; }
   size_t flow_count() const { return flows_.size(); }
 
+  // Telemetry: per-flow NACK-verdict counters register lazily under
+  // "<prefix>.flow<id>.*" as flows are provisioned, plus a BePSN-lag gauge
+  // (how far the armed compensation's BePSN sits ahead of the NIC's
+  // cumulative ACK). Tallies live outside the flow table so ResetFlowState()
+  // never dangles a registered pointer. Registry must outlive this hook.
+  void set_telemetry(CounterRegistry* registry, std::string prefix) {
+    counter_registry_ = registry;
+    counter_prefix_ = std::move(prefix);
+  }
+
   // Total PSN-queue ring overflows across flows (diagnostic).
   uint64_t TotalQueueOverflows() const;
 
@@ -90,6 +112,18 @@ class ThemisD : public SwitchHook {
     // received and no compensation must be generated.
     uint32_t cum_ack = 0;
     bool cum_ack_seen = false;
+    // Verdict audit (stats only, never affects forwarding): the ePSN of the
+    // last NACK forwarded as valid, pending proof of loss vs. delay.
+    uint32_t valid_epsn = 0;
+    bool valid_pending = false;
+  };
+
+  // Per-flow verdict tallies, kept apart from FlowEntry so the pointers
+  // handed to CounterRegistry survive ResetFlowState().
+  struct FlowTelemetry {
+    uint64_t nacks_valid = 0;
+    uint64_t nacks_blocked = 0;
+    uint64_t nacks_spurious = 0;
   };
 
   bool SamePath(uint32_t psn_a, uint32_t psn_b) const {
@@ -97,14 +131,18 @@ class ThemisD : public SwitchHook {
   }
 
   bool HandleData(Switch& sw, const Packet& pkt);
-  bool HandleNack(const Packet& pkt);
-  void ObserveCumulativeAck(FlowEntry& entry, uint32_t epsn);
+  bool HandleNack(Switch& sw, const Packet& pkt);
+  void ObserveCumulativeAck(Switch& sw, uint32_t flow_id, FlowEntry& entry, uint32_t epsn);
+  FlowTelemetry& TelemetryFor(uint32_t flow_id);
 
   ThemisDConfig config_;
   std::function<bool(const Packet&)> is_cross_rack_;
   bool enabled_ = true;
   std::unordered_map<uint32_t, FlowEntry> flows_;
+  std::unordered_map<uint32_t, FlowTelemetry> flow_telemetry_;
   ThemisDStats stats_;
+  CounterRegistry* counter_registry_ = nullptr;
+  std::string counter_prefix_;
 };
 
 }  // namespace themis

@@ -1,6 +1,8 @@
 #include "src/workload/flow_driver.h"
 
 #include <cassert>
+#include <cstdio>
+#include <memory>
 
 namespace themis {
 
@@ -123,14 +125,36 @@ FctWorkloadResult FlowDriver::Collect() const {
 
 FctWorkloadResult RunFctWorkload(const ExperimentConfig& exp_config,
                                  const WorkloadSpec& workload, const FlowSizeCdf& cdf,
-                                 TimePs deadline) {
+                                 TimePs deadline, const FctTelemetryOptions& telemetry) {
   Experiment exp(exp_config);
+  std::unique_ptr<Telemetry> bundle;
+  if (telemetry.enabled) {
+    bundle = std::make_unique<Telemetry>(&exp.sim(), telemetry.config);
+    exp.AttachTelemetry(bundle.get());
+    bundle->StartSampling();
+  }
   std::vector<FlowSpec> flows =
       GenerateFlows(workload, cdf, exp.host_count(), exp.edge_rate());
   FlowDriver driver(&exp, std::move(flows));
   driver.Post();
   exp.sim().RunUntil(deadline);
-  return driver.Collect();
+  FctWorkloadResult result = driver.Collect();
+  if (bundle != nullptr) {
+    bundle->StopSampling();
+    bundle->sampler().SampleNow();  // closing row at end-of-run state
+    result.trace_events = bundle->trace().recorded();
+    result.trace_overwritten = bundle->trace().overwritten();
+    if (!telemetry.trace_path.empty() && !bundle->WriteTrace(telemetry.trace_path)) {
+      std::fprintf(stderr, "RunFctWorkload: could not write %s\n",
+                   telemetry.trace_path.c_str());
+    }
+    if (!telemetry.counters_path.empty() &&
+        !bundle->WriteCounters(telemetry.counters_path)) {
+      std::fprintf(stderr, "RunFctWorkload: could not write %s\n",
+                   telemetry.counters_path.c_str());
+    }
+  }
+  return result;
 }
 
 }  // namespace themis

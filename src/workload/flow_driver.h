@@ -53,6 +53,9 @@ struct FctWorkloadResult {
   uint64_t timeouts = 0;
   uint64_t pfc_pauses = 0;
   ThemisDStats themis;  // all-zero unless the scheme is kThemis
+  // Telemetry run summary (zero unless FctTelemetryOptions::enabled).
+  uint64_t trace_events = 0;
+  uint64_t trace_overwritten = 0;
 
   std::vector<double> Slowdowns() const;
 };
@@ -89,10 +92,22 @@ class FlowDriver {
   bool posted_ = false;
 };
 
+// Optional observability for RunFctWorkload: when `enabled`, a Telemetry
+// bundle is attached to the experiment for the whole run (trace ring +
+// counter sampling), and non-empty paths are written after the run
+// (Chrome-trace JSON / counters CSV).
+struct FctTelemetryOptions {
+  bool enabled = false;
+  TelemetryConfig config;
+  std::string trace_path;     // empty = keep in memory only
+  std::string counters_path;  // empty = keep in memory only
+};
+
 // One-call harness: builds the Experiment, generates the flow list, runs to
 // completion (or `deadline`), and returns the collected result.
 FctWorkloadResult RunFctWorkload(const ExperimentConfig& exp_config, const WorkloadSpec& workload,
-                                 const FlowSizeCdf& cdf, TimePs deadline = kTimeInfinity);
+                                 const FlowSizeCdf& cdf, TimePs deadline = kTimeInfinity,
+                                 const FctTelemetryOptions& telemetry = {});
 
 }  // namespace themis
 

@@ -14,13 +14,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/experiment.h"
 #include "src/core/sweep_runner.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/telemetry.h"
 
 namespace themis {
 namespace {
@@ -77,7 +82,7 @@ uint64_t DigestExperiment(Experiment& exp) {
 // A small but non-trivial experiment: 2x2x2 leaf-spine, cross-rack
 // allreduce, DCQCN with aggressive timers, 100 ns fabric skew (so OOO,
 // NACKs, CNPs, RTOs all occur).
-uint64_t TraceHash(Scheme scheme, uint64_t seed) {
+ExperimentConfig DeterminismConfig(Scheme scheme, uint64_t seed) {
   ExperimentConfig config;
   config.seed = seed;
   config.num_tors = 2;
@@ -88,9 +93,25 @@ uint64_t TraceHash(Scheme scheme, uint64_t seed) {
   config.dcqcn_ti = 10 * kMicrosecond;
   config.dcqcn_td = 50 * kMicrosecond;
   config.fabric_delay_skew = 100 * kNanosecond;
-  Experiment exp(config);
+  return config;
+}
+
+// `traced`: attach a full Telemetry bundle (trace sink + counter sampling)
+// for the whole run. Telemetry is pure observation, so the digest must be
+// bit-identical either way.
+uint64_t TraceHash(Scheme scheme, uint64_t seed, bool traced = false) {
+  Experiment exp(DeterminismConfig(scheme, seed));
+  std::unique_ptr<Telemetry> telemetry;
+  if (traced) {
+    telemetry = std::make_unique<Telemetry>(&exp.sim());
+    exp.AttachTelemetry(telemetry.get());
+    telemetry->StartSampling();
+  }
   auto result = exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2),
                                   1 << 20, 10 * kSecond);
+  if (telemetry != nullptr) {
+    telemetry->StopSampling();
+  }
   uint64_t h = DigestExperiment(exp);
   h = FnvMix(h, result.all_done ? 1 : 0);
   h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
@@ -120,6 +141,53 @@ TEST(DeterminismTest, TraceHashesMatchSeedEngineGoldens) {
     EXPECT_EQ(TraceHash(g.scheme, g.seed), g.hash)
         << SchemeName(g.scheme) << " seed=" << g.seed;
   }
+}
+
+TEST(DeterminismTest, TelemetryAttachmentIsInvisibleInTraceHashes) {
+  // The sampler schedules periodic timer events and the sink records every
+  // hot-path event; neither may perturb the model. Goldens must still hold.
+  for (const Golden& g : kGoldens) {
+    EXPECT_EQ(TraceHash(g.scheme, g.seed, /*traced=*/true), g.hash)
+        << SchemeName(g.scheme) << " seed=" << g.seed << " (traced)";
+  }
+}
+
+// The serialized trace-event stream (not just the sim-state digest) must be
+// byte-identical regardless of sweep parallelism.
+std::string TraceStream(Scheme scheme, uint64_t seed) {
+  Experiment exp(DeterminismConfig(scheme, seed));
+  Telemetry telemetry(&exp.sim());
+  exp.AttachTelemetry(&telemetry);
+  telemetry.StartSampling();
+  exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2), 1 << 20,
+                    10 * kSecond);
+  telemetry.StopSampling();
+  telemetry.sampler().SampleNow();
+  std::ostringstream trace;
+  WriteChromeTrace(telemetry.trace(), trace, telemetry.MakeNodeNamer());
+  std::ostringstream counters;
+  WriteCountersCsv(telemetry.sampler(), counters);
+  return trace.str() + counters.str();
+}
+
+TEST(DeterminismTest, TraceStreamsIndependentOfThreadCount) {
+  struct Point {
+    Scheme scheme;
+    uint64_t seed;
+  };
+  const std::vector<Point> points = {
+      {Scheme::kThemis, 1},
+      {Scheme::kRandomSpray, 1},
+      {Scheme::kThemis, 2},
+  };
+  auto run_point = [](const Point& p) { return TraceStream(p.scheme, p.seed); };
+  const auto serial = SweepRunner(1).Map(points, run_point);
+  const auto parallel = SweepRunner(4).Map(points, run_point);
+  ASSERT_EQ(serial.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "case " << i;
+  }
+  EXPECT_GT(serial[0].size(), 0u);
 }
 
 TEST(DeterminismTest, SweepResultsIndependentOfThreadCount) {

@@ -349,6 +349,79 @@ TEST(PacketQueueTest, QueuesShareOneArena) {
   EXPECT_EQ(arena.recycled_allocations(), 1u);
 }
 
+TEST(PacketQueueTest, FreelistIsLifoAndPayloadSurvivesRecycling) {
+  PacketArena arena;
+  PacketQueue queue(&arena);
+  // Free order: psn 0's node first, then psn 1's. The freelist is LIFO, so
+  // the next alloc must reuse psn 1's node, then psn 0's — and the recycled
+  // nodes must carry the *new* payload, nothing stale.
+  queue.push_back(MakeDataPacket(1, 0, 1, 0, 100, 0));
+  queue.push_back(MakeDataPacket(1, 0, 1, 1, 100, 0));
+  PacketArena::Node* first = nullptr;
+  PacketArena::Node* second = nullptr;
+  queue.pop_front();  // frees psn 0's node
+  queue.pop_front();  // frees psn 1's node (now freelist head)
+  second = arena.Alloc();
+  first = arena.Alloc();
+  EXPECT_NE(first, second);
+  EXPECT_EQ(arena.fresh_allocations(), 2u);
+  EXPECT_EQ(arena.recycled_allocations(), 2u);
+  arena.Free(first);
+  arena.Free(second);
+
+  queue.push_back(MakeDataPacket(2, 3, 4, 77, 512, 9));
+  EXPECT_EQ(queue.front().flow_id, 2u);
+  EXPECT_EQ(queue.front().psn, 77u);
+  EXPECT_EQ(queue.front().payload_bytes, 512u);
+  queue.clear();
+}
+
+TEST(PacketQueueTest, ArenaGrowsMidRunWithoutDisturbingLiveQueue) {
+  PacketArena arena;
+  PacketQueue queue(&arena);
+  // 256 nodes fill the first slab; the 257th push carves a second slab while
+  // the queue is live. FIFO order and payloads must hold across the slab
+  // boundary.
+  constexpr uint32_t kCount = 300;
+  for (uint32_t psn = 0; psn < kCount; ++psn) {
+    queue.push_back(MakeDataPacket(1, 0, 1, psn, 100, 0));
+  }
+  EXPECT_EQ(arena.slab_count(), 2u);
+  EXPECT_EQ(arena.fresh_allocations(), static_cast<size_t>(kCount));
+  for (uint32_t psn = 0; psn < kCount; ++psn) {
+    ASSERT_FALSE(queue.empty());
+    EXPECT_EQ(queue.front().psn, psn);
+    queue.pop_front();
+  }
+  EXPECT_TRUE(queue.empty());
+  // The grown arena serves everything from the freelist afterwards.
+  for (uint32_t psn = 0; psn < kCount; ++psn) {
+    queue.push_back(MakeDataPacket(1, 0, 1, psn, 100, 0));
+  }
+  EXPECT_EQ(arena.fresh_allocations(), static_cast<size_t>(kCount));
+  EXPECT_EQ(arena.recycled_allocations(), static_cast<size_t>(kCount));
+  EXPECT_EQ(arena.slab_count(), 2u);
+}
+
+TEST(PacketQueueTest, NetworksDoNotShareArenas) {
+  // SweepRunner's determinism contract: concurrently running experiments
+  // must not share any allocator state. Each Network owns its own arena.
+  Simulator sim_a;
+  Network net_a(&sim_a);
+  Simulator sim_b;
+  Network net_b(&sim_b);
+  EXPECT_NE(&net_a.packet_arena(), &net_b.packet_arena());
+
+  SinkNode* a0 = net_a.MakeNode<SinkNode>("a0");
+  SinkNode* a1 = net_a.MakeNode<SinkNode>("a1");
+  const DuplexLink link = net_a.Connect(a0, a1, LinkSpec{});
+  a0->port(link.a.port)->Send(MakeDataPacket(1, a0->id(), a1->id(), 0, 100, 0));
+  sim_a.Run();
+  // Traffic in net_a never touches net_b's arena.
+  EXPECT_GT(net_a.packet_arena().fresh_allocations(), 0u);
+  EXPECT_EQ(net_b.packet_arena().fresh_allocations(), 0u);
+}
+
 TEST(NetworkTest, NodeIdsAreSequential) {
   Simulator sim;
   Network net(&sim);
