@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -240,7 +241,16 @@ double BestChurnRate(const char* label, int num_flows, uint64_t budget, int reps
 
 // --- Real Fig.-1-scale run ---------------------------------------------------
 
-void RunFig1Scale(int reps) {
+// Per-tier schedule counts of the last rep, for the CI artifact.
+struct TierBreakdown {
+  uint64_t heap = 0;
+  uint64_t wheel = 0;
+  uint64_t calendar = 0;
+  double best_events_per_sec = 0.0;
+};
+
+TierBreakdown RunFig1Scale(int reps) {
+  TierBreakdown breakdown;
   for (int r = 0; r < reps; ++r) {
     ExperimentConfig config;
     config.num_tors = 2;
@@ -260,12 +270,45 @@ void RunFig1Scale(int reps) {
         exp.RunCollective(CollectiveKind::kNeighborRing, rings, 8ull << 20, 60 * kSecond);
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double rate = exp.sim().events_executed() / secs / 1e6;
     std::printf("  fig1-scale   rep=%d done=%d sim_ms=%.3f executed=%llu wall=%.3fs -> "
                 "%.2f M events/s\n",
                 r, result.all_done ? 1 : 0, ToMilliseconds(result.tail_completion),
-                static_cast<unsigned long long>(exp.sim().events_executed()), secs,
-                exp.sim().events_executed() / secs / 1e6);
+                static_cast<unsigned long long>(exp.sim().events_executed()), secs, rate);
+    const EventQueue& q = exp.sim().queue();
+    breakdown = TierBreakdown{q.heap_scheduled(), q.wheel_scheduled(), q.calendar_scheduled(),
+                              rate > breakdown.best_events_per_sec
+                                  ? rate
+                                  : breakdown.best_events_per_sec};
   }
+  std::printf("  per-tier scheduled: heap=%llu wheel=%llu calendar=%llu "
+              "(calendar share %.1f%%)\n",
+              static_cast<unsigned long long>(breakdown.heap),
+              static_cast<unsigned long long>(breakdown.wheel),
+              static_cast<unsigned long long>(breakdown.calendar),
+              100.0 * static_cast<double>(breakdown.calendar) /
+                  static_cast<double>(breakdown.heap + breakdown.wheel + breakdown.calendar));
+  return breakdown;
+}
+
+// Writes the per-tier breakdown as CSV when THEMIS_HOTPATH_CSV names a path;
+// CI uploads it as an artifact.
+void MaybeWriteTierCsv(const TierBreakdown& breakdown) {
+  const char* path = std::getenv("THEMIS_HOTPATH_CSV");
+  if (path == nullptr || path[0] == '\0') {
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "tier,events_scheduled\nheap,%llu\nwheel,%llu\ncalendar,%llu\n",
+               static_cast<unsigned long long>(breakdown.heap),
+               static_cast<unsigned long long>(breakdown.wheel),
+               static_cast<unsigned long long>(breakdown.calendar));
+  std::fprintf(f, "fig1_best_events_per_sec,%.0f\n", breakdown.best_events_per_sec * 1e6);
+  std::fclose(f);
 }
 
 }  // namespace
@@ -287,6 +330,6 @@ int main() {
               wheel_rate / legacy_rate);
 
   std::printf("Fig.1-scale collective (2 tors x 4 spines x 4 hosts, RandomSpray/NIC-SR/DCQCN):\n");
-  RunFig1Scale(kReps);
+  MaybeWriteTierCsv(RunFig1Scale(kReps));
   return 0;
 }

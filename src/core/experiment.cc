@@ -117,6 +117,10 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
     }
   }
 
+  // Re-size the calendar tier with the experiment's actual MTU (the builder
+  // sized it for the 1500 B default); no-op when they agree.
+  network_->AutoSizeScheduler(config.mtu_bytes);
+
   // Transport / CC defaults for every QP.
   qp_config_.transport = config.transport;
   qp_config_.cc = config.cc;
@@ -333,6 +337,18 @@ void RegisterPortCounters(CounterRegistry* registry, const std::string& node_nam
 
 void Experiment::AttachTelemetry(Telemetry* telemetry) {
   CounterRegistry* registry = &telemetry->counters();
+
+  // Per-tier event-queue occupancy: where pending events currently live
+  // (heap one-shots / wheel timers / calendar line-rate events). Shows up as
+  // sim.*_pending columns in --counters output.
+  const Simulator* sim = &sim_;
+  registry->RegisterGauge("sim.heap_pending",
+                          [sim] { return static_cast<double>(sim->queue().heap_pending()); });
+  registry->RegisterGauge("sim.wheel_pending",
+                          [sim] { return static_cast<double>(sim->queue().wheel_pending()); });
+  registry->RegisterGauge("sim.calendar_pending", [sim] {
+    return static_cast<double>(sim->queue().calendar_pending());
+  });
 
   // Node names for the Chrome-trace process list.
   for (const Switch* sw : topology_.switches) {

@@ -60,6 +60,15 @@ class Network {
   // parameters in both directions.
   DuplexLink Connect(Node* a, Node* b, const LinkSpec& spec);
 
+  // Sizes the simulator's calendar tier from the links wired so far: bucket
+  // width = the largest power of two not exceeding one MTU serialization
+  // time at the fastest link rate, bucket count = enough to cover a
+  // serialization plus the longest propagation delay twice over (the cursor
+  // re-anchors mid-horizon). Topology builders call this once after wiring;
+  // Experiment re-calls it with the configured MTU. Idempotent and a no-op
+  // (returns false) if events are already pending or no links exist.
+  bool AutoSizeScheduler(uint32_t mtu_bytes = 1500);
+
   Node* node(int id) { return nodes_[static_cast<size_t>(id)].get(); }
   const Node* node(int id) const { return nodes_[static_cast<size_t>(id)].get(); }
   int node_count() const { return static_cast<int>(nodes_.size()); }
@@ -78,6 +87,9 @@ class Network {
   PacketArena packet_arena_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<DuplexLink> links_;
+  // Link-rate envelope accumulated by Connect(), for AutoSizeScheduler().
+  Rate fastest_link_rate_;
+  TimePs max_propagation_delay_ = 0;
 };
 
 }  // namespace themis

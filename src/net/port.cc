@@ -96,23 +96,35 @@ void Port::StartNextTransmission() {
 
   const TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
 
-  // Wire frees up after serialization completes. Both events below are on
-  // the per-packet hot path, so they go through the inline-only overload:
-  // a capture that outgrows the event's inline buffer fails to compile
-  // rather than silently reintroducing a per-packet allocation.
-  sim_->ScheduleInline(serialization, [this] { StartNextTransmission(); });
+  // Wire frees up after serialization completes. Both events below are the
+  // per-packet hot path — they ride the calendar tier (ScheduleSerialization
+  // routes to it when the deadline is within the calendar horizon) and go
+  // through the inline-only overload: a capture that outgrows the event's
+  // inline buffer fails to compile rather than silently reintroducing a
+  // per-packet allocation.
+  sim_->ScheduleSerialization(serialization, [this] { StartNextTransmission(); });
 
   // Peer sees the packet after serialization + propagation, unless the link
   // failed while the packet was in flight. Per-link arrivals are FIFO, so
   // the event needs no payload.
   in_flight_.push_back(pkt);
-  sim_->ScheduleInline(serialization + propagation_delay_, [this] { DeliverHeadInFlight(); });
+  sim_->ScheduleSerialization(serialization + propagation_delay_,
+                              [this] { DeliverHeadInFlight(); });
 }
 
 void Port::DeliverHeadInFlight() {
   const Packet pkt = in_flight_.front();
   in_flight_.pop_front();
   if (failed_) {
+    // The link died while the packet was in flight: account it like the
+    // other drop paths instead of discarding it silently.
+    ++stats_.drops;
+    stats_.drop_bytes += pkt.wire_bytes;
+    TracePort(sim_, PortTrace::kDrop, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), pkt.flow_id, pkt.wire_bytes,
+              static_cast<uint64_t>(queued_data_bytes_));
+    THEMIS_LOG(LogLevel::kDebug, sim_->now(), "%s port %d: in-flight drop %s",
+               owner_->name().c_str(), index_, pkt.ToString().c_str());
     return;
   }
   peer_->ReceivePacket(pkt, peer_port_);

@@ -149,12 +149,16 @@ void RnicHost::RunScheduler() {
     return;
   }
 
-  // Transmit one packet; hold the line for its serialization time.
+  // Transmit one packet; hold the line for its serialization time. This is
+  // one line-rate event per transmitted packet — exactly the calendar tier's
+  // customer — so it rides ScheduleSerialization. (The pacing/PFC wake-ups
+  // above stay on the wheel: NotifyWork cancels them, and only the wheel
+  // gives O(1) cancellation with no garbage event left behind.)
   const Packet pkt = best->DequeuePacket();
   ++rr_cursor_;
   uplink()->Send(pkt);
   state_ = SchedulerState::kTransmitting;
-  sim()->ScheduleInline(line_rate().SerializationTime(pkt.wire_bytes), [this] {
+  sim()->ScheduleSerialization(line_rate().SerializationTime(pkt.wire_bytes), [this] {
     state_ = SchedulerState::kIdle;
     RunScheduler();
   });

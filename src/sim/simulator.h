@@ -4,11 +4,13 @@
 // executive is single-threaded by design; determinism comes from integer
 // time plus FIFO tie-breaking in the event queue.
 //
-// Two scheduling tiers (see event_queue.h): plain Schedule()/ScheduleAt()
+// Three scheduling tiers (see event_queue.h): plain Schedule()/ScheduleAt()
 // events go to the binary heap; cancellable timers (Timer, PeriodicTimer,
-// ScheduleTimer) ride the hierarchical timer wheel. Both draw sequence
-// numbers from the same counter, so the firing order — and therefore every
-// fixed-seed trace — is identical to a single global heap.
+// ScheduleTimer) ride the hierarchical timer wheel; line-rate one-shots
+// (ScheduleSerialization) ride a calendar queue sized to the port
+// serialization quantum. All tiers draw sequence numbers from the same
+// counter, so the firing order — and therefore every fixed-seed trace — is
+// identical to a single global heap.
 
 #ifndef THEMIS_SRC_SIM_SIMULATOR_H_
 #define THEMIS_SRC_SIM_SIMULATOR_H_
@@ -57,6 +59,25 @@ class Simulator {
     queue_.ScheduleAt(at, EventCallback::MustInline(std::forward<F>(f)));
   }
 
+  // Line-rate fast path: one-shot events at most a serialization quantum
+  // plus a propagation delay out — the port serialization/delivery chain and
+  // NIC line holds. Rides the calendar tier (O(1) insert/pop) when one is
+  // configured and the deadline is within its horizon; falls back to the
+  // heap otherwise. Inline-only, like ScheduleInline.
+  template <typename F>
+  void ScheduleSerialization(TimePs delay, F&& f) {
+    queue_.ScheduleLineRate(now_ + delay, EventCallback::MustInline(std::forward<F>(f)));
+  }
+
+  // Sizes the calendar tier to the fabric's serialization quantum; called by
+  // Network::AutoSizeScheduler at build time. See EventQueue.
+  bool ConfigureCalendar(int width_bits, int bucket_count) {
+    return queue_.ConfigureCalendar(width_bits, bucket_count);
+  }
+
+  // Read-only queue access for telemetry gauges and tier-occupancy stats.
+  const EventQueue& queue() const { return queue_; }
+
   // Cancellable timer entries on the wheel; Arm and Cancel are O(1) and a
   // cancelled entry leaves no residue in the queue.
   TimerId ScheduleTimer(TimePs delay, EventQueue::Callback cb) {
@@ -84,12 +105,11 @@ class Simulator {
   uint64_t RunUntil(TimePs deadline) {
     stopped_ = false;
     uint64_t executed = 0;
-    while (!queue_.empty() && !stopped_) {
-      if (queue_.NextTime() > deadline) {
-        break;
-      }
-      TimePs t = 0;
-      EventQueue::Callback cb = queue_.Pop(&t);
+    TimePs t = 0;
+    EventQueue::Callback cb;
+    // Fused pop: one tier sync per event instead of the two a
+    // NextTime()-then-Pop() pair would pay.
+    while (!stopped_ && queue_.PopIfNotAfter(deadline, &t, &cb)) {
       now_ = t;
       cb();
       ++executed;

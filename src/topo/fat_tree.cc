@@ -102,6 +102,9 @@ Topology BuildFatTree(Network& net, const FatTreeConfig& config, const HostFacto
   }
 
   BuildEqualCostRoutes(topo);
+  // Fabric is wired: size the simulator's calendar tier to the serialization
+  // quantum and delay envelope of the links just created.
+  net.AutoSizeScheduler();
   return topo;
 }
 

@@ -64,6 +64,9 @@ Topology BuildLeafSpine(Network& net, const LeafSpineConfig& config,
   }
 
   BuildEqualCostRoutes(topo);
+  // Fabric is wired: size the simulator's calendar tier to the serialization
+  // quantum and delay envelope of the links just created.
+  net.AutoSizeScheduler();
   return topo;
 }
 

@@ -4,10 +4,10 @@
 // (per-QP counters, per-spine byte counts, drops, PFC pauses, completion
 // times) into one FNV-1a value. The golden constants below were captured on
 // the seed engine (single binary heap, std::function events) BEFORE the
-// two-tier refactor; the current engine must reproduce them bit-for-bit.
-// This is the refactor's core invariant: the timer wheel, the inline
-// callbacks, and the wheel-backed Timer/PeriodicTimer must be invisible in
-// the event order.
+// multi-tier refactors; the current engine must reproduce them bit-for-bit.
+// This is the refactors' core invariant: the timer wheel, the calendar
+// queue, the inline callbacks, and the wheel-backed Timer/PeriodicTimer
+// must be invisible in the event order.
 //
 // SweepRunner determinism is pinned the same way: a sweep's results must be
 // byte-identical whether it runs on 1 worker or many.
@@ -99,7 +99,8 @@ ExperimentConfig DeterminismConfig(Scheme scheme, uint64_t seed) {
 // `traced`: attach a full Telemetry bundle (trace sink + counter sampling)
 // for the whole run. Telemetry is pure observation, so the digest must be
 // bit-identical either way.
-uint64_t TraceHash(Scheme scheme, uint64_t seed, bool traced = false) {
+uint64_t TraceHash(Scheme scheme, uint64_t seed, bool traced = false,
+                   uint64_t* calendar_scheduled_out = nullptr) {
   Experiment exp(DeterminismConfig(scheme, seed));
   std::unique_ptr<Telemetry> telemetry;
   if (traced) {
@@ -111,6 +112,9 @@ uint64_t TraceHash(Scheme scheme, uint64_t seed, bool traced = false) {
                                   1 << 20, 10 * kSecond);
   if (telemetry != nullptr) {
     telemetry->StopSampling();
+  }
+  if (calendar_scheduled_out != nullptr) {
+    *calendar_scheduled_out = exp.sim().queue().calendar_scheduled();
   }
   uint64_t h = DigestExperiment(exp);
   h = FnvMix(h, result.all_done ? 1 : 0);
@@ -140,6 +144,19 @@ TEST(DeterminismTest, TraceHashesMatchSeedEngineGoldens) {
   for (const Golden& g : kGoldens) {
     EXPECT_EQ(TraceHash(g.scheme, g.seed), g.hash)
         << SchemeName(g.scheme) << " seed=" << g.seed;
+  }
+}
+
+TEST(DeterminismTest, CalendarTierCarriesHotPathAndStaysInvisible) {
+  // The goldens were captured on a heap-only engine. This run must (a) put
+  // the bulk of its events on the calendar tier — i.e. the fast path is
+  // actually live, not silently overflowing to the heap — and (b) still
+  // reproduce every golden bit-for-bit.
+  for (const Golden& g : kGoldens) {
+    uint64_t calendar_scheduled = 0;
+    EXPECT_EQ(TraceHash(g.scheme, g.seed, /*traced=*/false, &calendar_scheduled), g.hash)
+        << SchemeName(g.scheme) << " seed=" << g.seed;
+    EXPECT_GT(calendar_scheduled, 0u) << SchemeName(g.scheme) << " seed=" << g.seed;
   }
 }
 

@@ -1,6 +1,6 @@
-// Tests for the two-tier event engine: the InlineCallback small-buffer
-// type, the hierarchical timer wheel, and the (time, seq) merge between the
-// wheel and the binary heap.
+// Tests for the three-tier event engine: the InlineCallback small-buffer
+// type, the hierarchical timer wheel, the line-rate calendar queue, and the
+// (time, seq) merge across all tiers and the binary heap.
 //
 // The centrepiece is a randomized stress test that drives the real
 // EventQueue and a naive sorted-reference model through identical
@@ -307,6 +307,268 @@ TEST(TimerWheelStressTest, TimerRearmChurnFiresExactlyLastArm) {
     EXPECT_EQ(fires[static_cast<size_t>(i)], 1) << i;
     EXPECT_EQ(fire_times[static_cast<size_t>(i)], expected[static_cast<size_t>(i)]) << i;
   }
+}
+
+// --- CalendarQueue via EventQueue -------------------------------------------
+
+TEST(CalendarQueueTest, UnconfiguredLineRateFallsBackToHeap) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleLineRate(100, [&fired] { ++fired; });
+  EXPECT_EQ(q.calendar_scheduled(), 0u);
+  EXPECT_EQ(q.heap_scheduled(), 1u);
+  TimePs t = 0;
+  q.Pop(&t)();
+  EXPECT_EQ(t, 100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CalendarQueueTest, ConfigureRejectedWhileEntriesPending) {
+  EventQueue q;
+  ASSERT_TRUE(q.ConfigureCalendar(/*width_bits=*/10, /*bucket_count=*/8));
+  q.ScheduleLineRate(100, [] {});
+  EXPECT_EQ(q.calendar_scheduled(), 1u);
+  EXPECT_FALSE(q.ConfigureCalendar(12, 16));  // entry pending: refuse
+  TimePs t = 0;
+  q.Pop(&t)();
+  EXPECT_TRUE(q.ConfigureCalendar(12, 16));  // drained: allowed again
+}
+
+TEST(CalendarQueueTest, FifoTieBreakAcrossAllThreeTiers) {
+  EventQueue q;
+  ASSERT_TRUE(q.ConfigureCalendar(10, 8));
+  std::vector<int> order;
+  q.ScheduleAt(500, [&order] { order.push_back(0); });
+  q.ScheduleLineRate(500, [&order] { order.push_back(1); });
+  q.ScheduleTimer(500, [&order] { order.push_back(2); });
+  q.ScheduleLineRate(500, [&order] { order.push_back(3); });
+  q.ScheduleAt(500, [&order] { order.push_back(4); });
+  EXPECT_EQ(q.calendar_scheduled(), 2u);
+  while (!q.empty()) {
+    TimePs t = 0;
+    q.Pop(&t)();
+    EXPECT_EQ(t, 500);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(CalendarQueueTest, BucketWrapKeepsOrder) {
+  // 8 buckets x 1024 ps = 8192 ps horizon. A serialization-style chain —
+  // each fired event schedules the next a fraction of the horizon ahead —
+  // drives the cursor around the bucket array dozens of times; every event
+  // must stay on the calendar (no overflow) and fire in order.
+  struct Chain {
+    EventQueue* q = nullptr;
+    TimePs now = 0;
+    int remaining = 0;
+    std::vector<TimePs> fire_times;
+
+    void Next() {
+      if (remaining-- <= 0) {
+        return;
+      }
+      // Mixed spacing: same-bucket, adjacent-bucket, and multi-bucket hops.
+      const TimePs gap = (remaining % 3 == 0) ? 300 : (remaining % 3 == 1) ? 1100 : 5000;
+      const TimePs at = now + gap;
+      q->ScheduleLineRate(at, [this, at] {
+        now = at;
+        fire_times.push_back(at);
+        Next();
+      });
+    }
+  };
+
+  EventQueue q;
+  ASSERT_TRUE(q.ConfigureCalendar(10, 8));
+  Chain chain{&q, 0, 200, {}};
+  chain.Next();
+  TimePs prev = -1;
+  while (!q.empty()) {
+    TimePs t = 0;
+    q.Pop(&t)();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(chain.fire_times.size(), 200u);
+  EXPECT_EQ(q.calendar_scheduled(), 200u);  // the whole chain stayed on-tier
+  EXPECT_EQ(q.heap_scheduled(), 0u);
+  // Total span >> horizon: the cursor necessarily wrapped many times.
+  EXPECT_GT(chain.fire_times.back(), 40 * q.calendar().horizon());
+}
+
+TEST(CalendarQueueTest, BeyondHorizonOverflowsToHeapInOrder) {
+  EventQueue q;
+  ASSERT_TRUE(q.ConfigureCalendar(10, 8));  // horizon 8192 ps
+  std::vector<int> order;
+  q.ScheduleLineRate(100, [&order] { order.push_back(0); });  // calendar
+  // The cursor re-anchored around t=100, so +1 ms is far beyond the horizon.
+  q.ScheduleLineRate(kMillisecond, [&order] { order.push_back(2); });  // heap
+  q.ScheduleLineRate(200, [&order] { order.push_back(1); });           // calendar
+  EXPECT_EQ(q.calendar_scheduled(), 2u);
+  EXPECT_EQ(q.heap_scheduled(), 1u);
+  while (!q.empty()) {
+    TimePs t = 0;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CalendarQueueTest, ReanchorsAfterIdleStretch) {
+  // Drain the calendar, then schedule an event far past the old cursor: the
+  // tier must accept it (cursor re-anchors) instead of overflowing forever.
+  EventQueue q;
+  ASSERT_TRUE(q.ConfigureCalendar(10, 8));
+  int fired = 0;
+  q.ScheduleLineRate(100, [&fired] { ++fired; });
+  TimePs t = 0;
+  q.Pop(&t)();
+  EXPECT_EQ(fired, 1);
+  // 1 s later — thousands of horizons past the drained cursor.
+  q.ScheduleLineRate(kSecond, [&fired] { ++fired; });
+  EXPECT_EQ(q.calendar_scheduled(), 2u);  // accepted, not overflowed
+  q.Pop(&t)();
+  EXPECT_EQ(t, kSecond);
+  EXPECT_EQ(fired, 2);
+}
+
+// Randomized stress: all three tiers against the sorted-reference model.
+// A deliberately tiny calendar (8 buckets x 1024 ps = 8192 ps horizon)
+// forces constant bucket wraps and frequent overflow-to-heap, while delays
+// of 0 generate (time, seq) ties across tiers.
+TEST(CalendarStressTest, ThreeTierMixMatchesReference) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    ASSERT_TRUE(q.ConfigureCalendar(10, 8));
+    std::vector<RefEntry> ref;
+    std::vector<int> fired;
+    std::vector<std::pair<TimerId, int>> live_timers;
+    uint64_t next_seq = 0;
+    TimePs now = 0;
+
+    auto random_delay = [&rng]() -> TimePs {
+      switch (rng.Below(8)) {
+        case 0:
+          return 0;  // tie on time with whatever pops next
+        case 1:
+        case 2:
+        case 3:
+          return static_cast<TimePs>(rng.Below(2'000));  // in-horizon
+        case 4:
+        case 5:
+          return static_cast<TimePs>(rng.Below(20'000));  // wrap + overflow
+        case 6:
+          return static_cast<TimePs>(rng.Below(2 * kMicrosecond));
+        default:
+          return static_cast<TimePs>(rng.Below(kMillisecond));  // far overflow
+      }
+    };
+
+    auto fire = [&ref, &fired](int id) {
+      EXPECT_FALSE(ref[static_cast<size_t>(id)].cancelled);
+      EXPECT_FALSE(ref[static_cast<size_t>(id)].fired);
+      ref[static_cast<size_t>(id)].fired = true;
+      fired.push_back(id);
+    };
+
+    for (int op = 0; op < 20'000; ++op) {
+      const uint64_t dice = rng.Below(100);
+      if (dice < 35) {  // line-rate event (calendar or overflow)
+        const int id = static_cast<int>(ref.size());
+        const TimePs at = now + random_delay();
+        ref.push_back(RefEntry{at, next_seq++, id, false, false});
+        q.ScheduleLineRate(at, [&fire, id] { fire(id); });
+      } else if (dice < 55) {  // wheel timer
+        const int id = static_cast<int>(ref.size());
+        const TimePs at = now + random_delay();
+        ref.push_back(RefEntry{at, next_seq++, id, false, false});
+        live_timers.emplace_back(q.ScheduleTimer(at, [&fire, id] { fire(id); }), id);
+      } else if (dice < 65) {  // heap event
+        const int id = static_cast<int>(ref.size());
+        const TimePs at = now + random_delay();
+        ref.push_back(RefEntry{at, next_seq++, id, false, false});
+        q.ScheduleAt(at, [&fire, id] { fire(id); });
+      } else if (dice < 75) {  // cancel a (possibly stale) timer handle
+        if (!live_timers.empty()) {
+          const size_t pick = static_cast<size_t>(rng.Below(live_timers.size()));
+          auto [handle, id] = live_timers[pick];
+          RefEntry& entry = ref[static_cast<size_t>(id)];
+          const bool expect_ok = !entry.fired && !entry.cancelled;
+          EXPECT_EQ(q.CancelTimer(handle), expect_ok) << "id=" << id;
+          if (expect_ok) {
+            entry.cancelled = true;
+          }
+          live_timers.erase(live_timers.begin() + static_cast<long>(pick));
+        }
+      } else {  // pop one event
+        if (!q.empty()) {
+          TimePs t = 0;
+          EventQueue::Callback cb = q.Pop(&t);
+          EXPECT_GE(t, now);
+          now = t;
+          cb();
+        }
+      }
+    }
+
+    while (!q.empty()) {
+      TimePs t = 0;
+      EventQueue::Callback cb = q.Pop(&t);
+      EXPECT_GE(t, now);
+      now = t;
+      cb();
+    }
+
+    EXPECT_GT(q.calendar_scheduled(), 0u) << "seed=" << seed;
+    EXPECT_GT(q.heap_scheduled(), 0u) << "seed=" << seed;  // incl. overflow
+
+    std::vector<RefEntry> expected;
+    for (const RefEntry& e : ref) {
+      if (!e.cancelled) {
+        expected.push_back(e);
+      }
+    }
+    std::sort(expected.begin(), expected.end(), [](const RefEntry& a, const RefEntry& b) {
+      return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    });
+    ASSERT_EQ(fired.size(), expected.size()) << "seed=" << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(fired[i], expected[i].id) << "seed=" << seed << " position=" << i;
+    }
+  }
+}
+
+// --- PopIfNotAfter (fused NextTime + Pop) ------------------------------------
+
+TEST(PopIfNotAfterTest, RespectsDeadlineAcrossTiers) {
+  EventQueue q;
+  ASSERT_TRUE(q.ConfigureCalendar(10, 8));
+  std::vector<int> order;
+  q.ScheduleLineRate(100, [&order] { order.push_back(0); });
+  q.ScheduleTimer(200, [&order] { order.push_back(1); });
+  q.ScheduleAt(300, [&order] { order.push_back(2); });
+
+  TimePs t = 0;
+  EventQueue::Callback cb;
+  // Deadline below everything: nothing pops, queue intact.
+  EXPECT_FALSE(q.PopIfNotAfter(99, &t, &cb));
+  EXPECT_EQ(q.size(), 3u);
+  // Deadline admits the first two, in order, then refuses the third.
+  ASSERT_TRUE(q.PopIfNotAfter(250, &t, &cb));
+  cb();
+  EXPECT_EQ(t, 100);
+  ASSERT_TRUE(q.PopIfNotAfter(250, &t, &cb));
+  cb();
+  EXPECT_EQ(t, 200);
+  EXPECT_FALSE(q.PopIfNotAfter(250, &t, &cb));
+  EXPECT_EQ(q.size(), 1u);
+  // Exact-time deadline is inclusive.
+  ASSERT_TRUE(q.PopIfNotAfter(300, &t, &cb));
+  cb();
+  EXPECT_EQ(t, 300);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.PopIfNotAfter(1'000'000, &t, &cb));  // empty queue
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 // --- RunUntil deadline semantics --------------------------------------------

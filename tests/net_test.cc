@@ -256,6 +256,23 @@ TEST(PortTest, FailedPortBlackholes) {
   EXPECT_EQ(h.ab()->stats().drops, 1u);
 }
 
+TEST(PortTest, MidFlightFailureCountsAsDrop) {
+  // The packet has left the serializer and is propagating when the link
+  // fails: it must be counted as a drop, not silently vanish.
+  LinkSpec spec;
+  spec.rate = Rate::Gbps(100);
+  spec.propagation_delay = 1 * kMicrosecond;
+  Harness h(spec);
+
+  h.ab()->Send(MakeDataPacket(1, 0, 1, 0, 1436, 0));  // delivers at 1.12 us
+  h.sim.ScheduleAt(500 * kNanosecond, [&h] { h.ab()->set_failed(true); });
+  h.sim.Run();
+
+  EXPECT_TRUE(h.b->arrivals.empty());
+  EXPECT_EQ(h.ab()->stats().drops, 1u);
+  EXPECT_EQ(h.ab()->stats().drop_bytes, 1500u);
+}
+
 TEST(PortTest, EcnMarksUnderBacklog) {
   LinkSpec spec;
   spec.rate = Rate::Gbps(1);
