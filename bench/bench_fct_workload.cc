@@ -31,6 +31,7 @@ struct FctScheme {
   Scheme scheme;
   SprayMode spray;
   bool pfc;
+  bool grace;
 };
 
 // The bench's comparison set. Spray mode only matters under kThemis. The
@@ -38,12 +39,16 @@ struct FctScheme {
 // on, pause storms can delay a packet long enough that the switch forwards
 // a NACK as "valid" (Eq. 3 satisfied) even though the packet was merely
 // stalled, not lost — the receiver then sees the original arrive after all.
+// The noGrace ablation turns the pause-aware grace window off, reproducing
+// the pre-fix spurious-valid numbers; default Themis-D should close most of
+// the gap to the noPFC row.
 constexpr FctScheme kFctSchemes[] = {
-    {"ECMP", Scheme::kEcmp, SprayMode::kTorEgress, true},
-    {"RandomSpray", Scheme::kRandomSpray, SprayMode::kTorEgress, true},
-    {"Themis-S", Scheme::kThemis, SprayMode::kSportRewrite, true},
-    {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress, true},
-    {"Themis-D/noPFC", Scheme::kThemis, SprayMode::kTorEgress, false},
+    {"ECMP", Scheme::kEcmp, SprayMode::kTorEgress, true, true},
+    {"RandomSpray", Scheme::kRandomSpray, SprayMode::kTorEgress, true, true},
+    {"Themis-S", Scheme::kThemis, SprayMode::kSportRewrite, true, true},
+    {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress, true, true},
+    {"Themis-D/noGrace", Scheme::kThemis, SprayMode::kTorEgress, true, false},
+    {"Themis-D/noPFC", Scheme::kThemis, SprayMode::kTorEgress, false, true},
 };
 
 struct FctCase {
@@ -76,6 +81,7 @@ ExperimentConfig FctFabric(const FctScheme& scheme, bool smoke) {
   config.scheme = scheme.scheme;
   config.themis_spray_mode = scheme.spray;
   config.pfc_enabled = scheme.pfc;
+  config.themis_pause_grace = scheme.grace;
   return config;
 }
 
@@ -135,7 +141,8 @@ int FctMain() {
       runner.Map(cases, [smoke](const FctCase& c) { return RunCase(c, smoke); });
 
   Table table({"dist", "load", "scheme", "flows", "done", "p50", "p95", "p99",
-               "goodput_gbps", "rtx_ratio", "drops", "nacks_valid", "spurious"});
+               "goodput_gbps", "rtx_ratio", "drops", "nacks_valid", "spurious", "grace_defer",
+               "grace_cancel"});
   int failures = 0;
   for (const FctOutcome& o : outcomes) {
     const FctWorkloadResult& r = o.result;
@@ -152,7 +159,9 @@ int FctMain() {
                   FormatDouble(r.slowdown.p99, 2), FormatDouble(r.goodput_gbps, 2),
                   FormatDouble(r.rtx_ratio, 4), std::to_string(r.drops),
                   std::to_string(r.themis.nacks_forwarded_valid),
-                  std::to_string(r.themis.nacks_forwarded_spurious)});
+                  std::to_string(r.themis.nacks_forwarded_spurious),
+                  std::to_string(r.themis.grace_deferred),
+                  std::to_string(r.themis.grace_cancelled)});
   }
 
   std::printf("\n=== FCT slowdown — incast-heavy mix (p50/p95/p99, lower is better) ===\n");
@@ -194,11 +203,16 @@ int FctMain() {
       continue;
     }
     const ThemisDStats& t = o.result.themis;
-    std::printf("  %-12s load=%.1f %-14s %llu spurious / %llu genuine of %llu valid\n",
-                o.spec.cdf->name().c_str(), o.spec.load, o.spec.scheme.label,
-                static_cast<unsigned long long>(t.nacks_forwarded_spurious),
-                static_cast<unsigned long long>(t.nacks_forwarded_genuine),
-                static_cast<unsigned long long>(t.nacks_forwarded_valid));
+    std::printf(
+        "  %-12s load=%.1f %-16s %llu spurious / %llu genuine of %llu valid"
+        " (grace: %llu deferred, %llu cancelled, %llu expired)\n",
+        o.spec.cdf->name().c_str(), o.spec.load, o.spec.scheme.label,
+        static_cast<unsigned long long>(t.nacks_forwarded_spurious),
+        static_cast<unsigned long long>(t.nacks_forwarded_genuine),
+        static_cast<unsigned long long>(t.nacks_forwarded_valid),
+        static_cast<unsigned long long>(t.grace_deferred),
+        static_cast<unsigned long long>(t.grace_cancelled),
+        static_cast<unsigned long long>(t.grace_expired));
   }
 
   if (const char* csv = std::getenv("THEMIS_FCT_CSV"); csv != nullptr && *csv != '\0') {

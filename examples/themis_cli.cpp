@@ -40,6 +40,7 @@ struct CliOptions {
   uint64_t seed = 1;
   bool pfc = true;
   bool compensation = true;
+  bool grace = true;
   std::string csv_path;
   std::string trace_path;
   std::string counters_path;
@@ -60,6 +61,7 @@ struct CliOptions {
       "  --seed=N             RNG seed (default 1)\n"
       "  --no-pfc             disable priority flow control\n"
       "  --no-compensation    disable Themis NACK compensation\n"
+      "  --no-grace           disable the pause-aware NACK grace window\n"
       "  --csv=PATH           append one result row to a CSV file\n"
       "  --trace=PATH         write a Chrome-trace JSON of sim events (load in Perfetto)\n"
       "  --counters=PATH      write sampled per-port/per-QP counters as CSV\n");
@@ -86,6 +88,8 @@ CliOptions Parse(int argc, char** argv) {
       opts.pfc = false;
     } else if (std::strcmp(arg, "--no-compensation") == 0) {
       opts.compensation = false;
+    } else if (std::strcmp(arg, "--no-grace") == 0) {
+      opts.grace = false;
     } else if (ParseValue(arg, "--scheme", &value)) {
       if (value == "ecmp") {
         opts.scheme = Scheme::kEcmp;
@@ -214,6 +218,7 @@ int main(int argc, char** argv) {
   config.dcqcn_td = opts.td_us * kMicrosecond;
   config.pfc_enabled = opts.pfc;
   config.themis_compensation = opts.compensation;
+  config.themis_pause_grace = opts.grace;
 
   Experiment exp(config);
   std::unique_ptr<Telemetry> telemetry;

@@ -40,6 +40,7 @@ struct CliOptions {
   uint64_t max_flows = 0;
   bool pfc = true;
   bool compensation = true;
+  bool grace = true;
   std::string csv_path;
   std::string trace_path;
   std::string counters_path;
@@ -62,6 +63,7 @@ struct CliOptions {
       "  --max-flows=N        truncate the generated flow list (default: no cap)\n"
       "  --no-pfc             disable priority flow control\n"
       "  --no-compensation    disable Themis NACK compensation\n"
+      "  --no-grace           disable the pause-aware NACK grace window\n"
       "  --csv=PATH           write one row per flow (sizes, FCT, slowdown)\n"
       "  --trace=PATH         write a Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
       "  --counters=PATH      write the sampled counter time series as CSV\n");
@@ -88,6 +90,8 @@ CliOptions Parse(int argc, char** argv) {
       opts.pfc = false;
     } else if (std::strcmp(arg, "--no-compensation") == 0) {
       opts.compensation = false;
+    } else if (std::strcmp(arg, "--no-grace") == 0) {
+      opts.grace = false;
     } else if (ParseValue(arg, "--pattern", &value)) {
       if (value == "uniform") {
         opts.pattern = TrafficPattern::kUniform;
@@ -204,6 +208,7 @@ int main(int argc, char** argv) {
   config.themis_spray_mode = opts.spray;
   config.pfc_enabled = opts.pfc;
   config.themis_compensation = opts.compensation;
+  config.themis_pause_grace = opts.grace;
 
   WorkloadSpec workload;
   workload.pattern = opts.pattern;

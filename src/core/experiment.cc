@@ -112,6 +112,19 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
                               config.link_rate.SerializationTime(kControlPacketBytes);
       themis_config.themis_d.queue_capacity = PsnQueueCapacity(
           config.link_rate, rtt_last, config.themis_queue_expansion, config.mtu_bytes);
+      // Pause-aware grace window: a pause-delayed packet surfaces at most
+      // one xoff-buffer drain (plus a fabric hop) after the pause it sat
+      // behind, so auto-derive lookback/slack from the PFC headroom — the
+      // paper's buffer-headroom assumption, computed instead of hard-coded.
+      themis_config.themis_d.pause_grace = config.pfc_enabled && config.themis_pause_grace;
+      const TimePs xoff_drain = config.link_rate.SerializationTime(
+          static_cast<uint32_t>(config_.pfc_xoff_bytes));
+      themis_config.themis_d.grace_lookback_ps = config.themis_grace_lookback != 0
+                                                     ? config.themis_grace_lookback
+                                                     : xoff_drain + 2 * config.link_delay;
+      themis_config.themis_d.grace_slack_ps = config.themis_grace_slack != 0
+                                                  ? config.themis_grace_slack
+                                                  : xoff_drain + config.link_delay;
       themis_ = ThemisDeployment::Install(topology_, themis_config);
       break;
     }

@@ -98,6 +98,14 @@ struct ExperimentConfig {
   bool themis_compensation = true;
   bool themis_truncate_queue_entries = true;
   double themis_queue_expansion = 1.5;  // F of Section 4
+  // Pause-aware grace window for Themis-D NACK validity (PFC-aware Eq. 3;
+  // see ThemisDConfig::pause_grace). On by default — it is inert unless a
+  // pause actually overlaps a suspect window. Lookback/slack of 0 = auto:
+  // derived from the PFC headroom (xoff drain time + link delays), i.e. the
+  // paper's buffer-headroom assumption instead of a hard-coded constant.
+  bool themis_pause_grace = true;
+  TimePs themis_grace_lookback = 0;
+  TimePs themis_grace_slack = 0;
   TimePs flowlet_gap = 50 * kMicrosecond;
   ReorderHookConfig reorder;  // kSprayReorder baseline knobs
 

@@ -1,0 +1,104 @@
+// Seed → trace-hash digest shared by the determinism regression tests and
+// the golden-regeneration tool (tools/golden_hashes.cc, driven by
+// tools/regen_goldens.py / the `regen-goldens` cmake target).
+//
+// The digest folds every observable statistic of an experiment (per-QP
+// counters, per-spine byte counts, drops, PFC pauses, completion times)
+// into one FNV-1a value. Behaviour-shifting PRs regenerate the golden
+// constants in tests/determinism_test.cc with the tool instead of
+// hand-editing them; the digest itself must stay stable across refactors,
+// or every golden loses its meaning.
+
+#ifndef THEMIS_SRC_CORE_TRACE_DIGEST_H_
+#define THEMIS_SRC_CORE_TRACE_DIGEST_H_
+
+#include <cstdint>
+
+#include "src/core/experiment.h"
+
+namespace themis {
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline uint64_t DigestExperiment(Experiment& exp) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  h = FnvMix(h, static_cast<uint64_t>(exp.sim().now()));
+  for (int i = 0; i < exp.host_count(); ++i) {
+    for (const SenderQp* qp : exp.host(i)->sender_qps()) {
+      const SenderQpStats& s = qp->stats();
+      h = FnvMix(h, qp->flow_id());
+      h = FnvMix(h, static_cast<uint64_t>(s.first_post_time));
+      h = FnvMix(h, static_cast<uint64_t>(s.last_completion_time));
+      h = FnvMix(h, s.data_packets_sent);
+      h = FnvMix(h, s.data_bytes_sent);
+      h = FnvMix(h, s.rtx_packets);
+      h = FnvMix(h, s.rtx_bytes);
+      h = FnvMix(h, s.acks_received);
+      h = FnvMix(h, s.nacks_received);
+      h = FnvMix(h, s.cnps_received);
+      h = FnvMix(h, s.timeouts);
+      h = FnvMix(h, s.messages_completed);
+      h = FnvMix(h, qp->snd_una());
+      h = FnvMix(h, qp->snd_nxt());
+    }
+    for (const ReceiverQp* qp : exp.host(i)->receiver_qps()) {
+      const ReceiverQpStats& s = qp->stats();
+      h = FnvMix(h, s.data_packets);
+      h = FnvMix(h, s.goodput_bytes);
+      h = FnvMix(h, s.ooo_arrivals);
+      h = FnvMix(h, s.duplicates);
+      h = FnvMix(h, s.acks_sent);
+      h = FnvMix(h, s.nacks_sent);
+      h = FnvMix(h, s.cnps_sent);
+    }
+  }
+  for (uint64_t b : exp.SpineDataBytes()) {
+    h = FnvMix(h, b);
+  }
+  h = FnvMix(h, exp.TotalPortDrops());
+  h = FnvMix(h, exp.TotalPfcPauses());
+  h = FnvMix(h, exp.TotalDataBytesSent());
+  return h;
+}
+
+// The canonical golden-determinism experiment: a small but non-trivial
+// 2x2x2 leaf-spine, cross-rack allreduce, DCQCN with aggressive timers,
+// 100 ns fabric skew (so OOO, NACKs, CNPs, RTOs all occur). `pfc` selects
+// the lossless (default, golden) vs. droppy variant — the non-PFC goldens
+// pin that pause-aware mechanisms are inert when no pause ever happens.
+inline ExperimentConfig DeterminismConfig(Scheme scheme, uint64_t seed, bool pfc = true) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.num_tors = 2;
+  config.num_spines = 2;
+  config.hosts_per_tor = 2;
+  config.link_rate = Rate::Gbps(100);
+  config.scheme = scheme;
+  config.dcqcn_ti = 10 * kMicrosecond;
+  config.dcqcn_td = 50 * kMicrosecond;
+  config.fabric_delay_skew = 100 * kNanosecond;
+  config.pfc_enabled = pfc;
+  return config;
+}
+
+// Runs the canonical experiment and returns its digest (see the tests for
+// telemetry-attached and calendar-occupancy variants of the same run).
+inline uint64_t GoldenTraceHash(Scheme scheme, uint64_t seed, bool pfc = true) {
+  Experiment exp(DeterminismConfig(scheme, seed, pfc));
+  auto result = exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2),
+                                  1 << 20, 10 * kSecond);
+  uint64_t h = DigestExperiment(exp);
+  h = FnvMix(h, result.all_done ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+  return h;
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_CORE_TRACE_DIGEST_H_

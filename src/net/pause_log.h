@@ -1,0 +1,113 @@
+// Bounded log of PFC pause intervals.
+//
+// `Port::stats().paused_time_ps` only answers "how long, in total" — the
+// Themis-D grace window (pause-aware Eq. 3 validity) needs "how much pause
+// overlapped THIS packet's in-flight interval". PauseIntervalLog keeps the
+// most recent closed pause intervals in a fixed ring plus the currently
+// open one, and answers overlap queries against an arbitrary window.
+// Old intervals are evicted silently (counted in `evicted()`); the suspect
+// windows Themis-D queries are a few RTTs long, so a small ring is ample.
+
+#ifndef THEMIS_SRC_NET_PAUSE_LOG_H_
+#define THEMIS_SRC_NET_PAUSE_LOG_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace themis {
+
+class PauseIntervalLog {
+ public:
+  struct Interval {
+    TimePs begin = 0;
+    TimePs end = 0;
+  };
+
+  static constexpr size_t kCapacity = 64;
+
+  // Opens a pause interval at `now`. No-op if one is already open (PFC
+  // refresh frames re-assert an existing pause).
+  void Open(TimePs now) {
+    if (open_) {
+      return;
+    }
+    open_ = true;
+    open_since_ = now;
+  }
+
+  // Closes the open interval at `now`, retiring it into the ring. No-op if
+  // no interval is open (resume without a preceding pause).
+  void Close(TimePs now) {
+    if (!open_) {
+      return;
+    }
+    open_ = false;
+    if (size_ == kCapacity) {
+      ++evicted_;
+      evicted_total_ += ring_[head_].end - ring_[head_].begin;
+    } else {
+      ++size_;
+    }
+    ring_[head_] = Interval{open_since_, now};
+    head_ = (head_ + 1) % kCapacity;
+  }
+
+  bool open() const { return open_; }
+  TimePs open_since() const { return open_since_; }
+  size_t size() const { return size_; }
+  uint64_t evicted() const { return evicted_; }
+
+  // i = 0 is the oldest retained closed interval.
+  Interval closed(size_t i) const {
+    return ring_[(head_ + kCapacity - size_ + i) % kCapacity];
+  }
+
+  // Total paused time overlapping [from, to], counting the open interval up
+  // to `now`. Evicted intervals are not counted — callers querying windows
+  // older than the ring's reach undercount, which for the grace window means
+  // falling back to the paper's plain Eq. 3 behaviour (fail open).
+  TimePs OverlapPs(TimePs from, TimePs to, TimePs now) const {
+    TimePs total = 0;
+    for (size_t i = 0; i < size_; ++i) {
+      const Interval iv = closed(i);
+      total += std::max<TimePs>(0, std::min(iv.end, to) - std::max(iv.begin, from));
+    }
+    if (open_) {
+      total += std::max<TimePs>(0, std::min(now, to) - std::max(open_since_, from));
+    }
+    return total;
+  }
+
+  // Total paused time ever logged, open interval included — must agree with
+  // Port::PausedTimePs() when the log mirrors a port's pause state.
+  TimePs TotalPausedPs(TimePs now) const {
+    TimePs total = 0;
+    for (size_t i = 0; i < size_; ++i) {
+      const Interval iv = closed(i);
+      total += iv.end - iv.begin;
+    }
+    total += evicted_total_;
+    if (open_) {
+      total += now - open_since_;
+    }
+    return total;
+  }
+
+ private:
+  Interval ring_[kCapacity];
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t evicted_ = 0;
+  TimePs evicted_total_ = 0;
+  bool open_ = false;
+  TimePs open_since_ = 0;
+
+  friend class PauseIntervalLogTestPeer;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_NET_PAUSE_LOG_H_

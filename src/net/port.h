@@ -15,6 +15,7 @@
 #include "src/net/node.h"
 #include "src/net/packet.h"
 #include "src/net/packet_queue.h"
+#include "src/net/pause_log.h"
 #include "src/sim/simulator.h"
 
 namespace themis {
@@ -93,6 +94,14 @@ class Port {
     return stats_.paused_time_ps + (paused_ ? sim_->now() - pause_since_ : 0);
   }
 
+  // Per-interval pause history (beyond the aggregate paused_time_ps): which
+  // pause intervals overlapped a given window. Feeds the Themis-D grace
+  // window and the PFC conformance tests.
+  const PauseIntervalLog& pause_log() const { return pause_log_; }
+  TimePs PausedOverlapPs(TimePs from, TimePs to) const {
+    return pause_log_.OverlapPs(from, to, sim_->now());
+  }
+
  private:
   void StartNextTransmission();
   void DeliverHeadInFlight();
@@ -111,6 +120,7 @@ class Port {
   bool failed_ = false;
   bool paused_ = false;
   TimePs pause_since_ = 0;  // valid while paused_
+  PauseIntervalLog pause_log_;
   // Freelist-backed FIFOs (see packet_queue.h): the per-packet fast path
   // recycles queue nodes through the simulator-wide arena instead of
   // round-tripping the allocator.

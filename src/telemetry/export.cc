@@ -94,6 +94,12 @@ const char* TraceEventName(TraceCategory category, uint8_t code) {
           return "themis.comp_cancelled";
         case ThemisTrace::kSpuriousValid:
           return "themis.spurious_valid";
+        case ThemisTrace::kGraceDeferred:
+          return "themis.grace_deferred";
+        case ThemisTrace::kGraceExpired:
+          return "themis.grace_expired";
+        case ThemisTrace::kGraceCancelled:
+          return "themis.grace_cancelled";
       }
       break;
     case TraceCategory::kCc:

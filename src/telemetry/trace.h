@@ -102,6 +102,9 @@ enum class ThemisTrace : uint8_t {
   kCompensate = 8,     // NACK generated on the RNIC's behalf; a = BePSN
   kCompCancelled = 9,  // BePSN packet arrived after all; a = BePSN
   kSpuriousValid = 10,  // valid-forwarded NACK proved spurious; a = ePSN
+  kGraceDeferred = 11,  // valid NACK deferred by pause overlap; a = ePSN, b = overlap ps
+  kGraceExpired = 12,   // grace window elapsed -> NACK released; a = ePSN, b = held ps
+  kGraceCancelled = 13,  // ePSN arrived during grace -> NACK dropped; a = ePSN
 };
 
 enum class CcTrace : uint8_t {

@@ -115,6 +115,9 @@ ThemisDStats ThemisDeployment::AggregateDStats() const {
     total.compensated_nacks += s.compensated_nacks;
     total.compensations_cancelled += s.compensations_cancelled;
     total.compensations_suppressed += s.compensations_suppressed;
+    total.grace_deferred += s.grace_deferred;
+    total.grace_cancelled += s.grace_cancelled;
+    total.grace_expired += s.grace_expired;
   }
   return total;
 }

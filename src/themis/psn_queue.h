@@ -34,22 +34,25 @@ class PsnQueue {
   // entry encoding (default) vs. full 24-bit entries (used by tests to
   // validate the reconstruction).
   explicit PsnQueue(size_t capacity, bool truncate = true)
-      : entries_(capacity), truncate_(truncate) {}
+      : entries_(capacity), times_(capacity), truncate_(truncate) {}
 
   size_t capacity() const { return entries_.size(); }
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
   uint64_t overflows() const { return overflows_; }
 
-  // Appends the PSN of a packet leaving the ToR towards the NIC. If the
-  // queue is full the oldest entry is evicted.
-  void Push(uint32_t psn) {
+  // Appends the PSN of a packet leaving the ToR towards the NIC, stamped
+  // with its forwarding time. If the queue is full the oldest entry is
+  // evicted. (The timestamp is sim-side observability for the pause-aware
+  // grace window — a real switch would widen the entry; see DESIGN.md.)
+  void Push(uint32_t psn, TimePs time = 0) {
     if (count_ == entries_.size()) {
       head_ = Advance(head_);
       --count_;
       ++overflows_;
     }
     entries_[tail_] = Encode(psn);
+    times_[tail_] = time;
     tail_ = Advance(tail_);
     ++count_;
   }
@@ -57,18 +60,26 @@ class PsnQueue {
   // Dequeues entries until one decodes to a PSN strictly greater (in serial
   // order) than `epsn`; returns that PSN (the tPSN) or nullopt if the queue
   // drains first. Dequeued entries are consumed, matching the switch
-  // implementation where the scan advances the ring head.
+  // implementation where the scan advances the ring head. On a match,
+  // last_match_time() reports the matched entry's push timestamp.
   std::optional<uint32_t> PopUntilGreater(uint32_t epsn) {
     while (count_ > 0) {
       const uint32_t psn = Decode(entries_[head_], epsn);
+      const TimePs time = times_[head_];
       head_ = Advance(head_);
       --count_;
       if (PsnGt(psn, epsn)) {
+        last_match_time_ = time;
         return psn;
       }
     }
     return std::nullopt;
   }
+
+  // Push time of the tPSN entry returned by the last successful
+  // PopUntilGreater — the start anchor for the grace window's suspect
+  // in-flight interval.
+  TimePs last_match_time() const { return last_match_time_; }
 
   // Non-destructive membership check (decoding truncated entries relative
   // to `reference`). Used by Themis-D to detect that a NACK's ePSN packet
@@ -110,11 +121,13 @@ class PsnQueue {
   }
 
   std::vector<uint32_t> entries_;
+  std::vector<TimePs> times_;
   bool truncate_;
   size_t head_ = 0;
   size_t tail_ = 0;
   size_t count_ = 0;
   uint64_t overflows_ = 0;
+  TimePs last_match_time_ = 0;
 };
 
 // Queue capacity rule from Section 4: slightly more than BDP/MTU.

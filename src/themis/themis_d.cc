@@ -65,6 +65,62 @@ void ThemisD::ObserveCumulativeAck(Switch& sw, uint32_t flow_id, FlowEntry& entr
     TraceThemis(sw.sim(), ThemisTrace::kSpuriousValid, static_cast<uint16_t>(sw.id()),
                 flow_id, entry.valid_epsn);
   }
+  // The cumulative ACK passing a parked grace NACK's ePSN proves the
+  // receiver got that packet: the "loss" was pause delay and the NACK
+  // would have been spurious. Drop it.
+  if (entry.grace_pending && PsnGt(entry.cum_ack, entry.grace_nack.psn)) {
+    CancelGrace(sw, flow_id, entry);
+  } else {
+    ExpireGraceIfDue(sw, flow_id, entry);
+  }
+}
+
+void ThemisD::CancelGrace(Switch& sw, uint32_t flow_id, FlowEntry& entry) {
+  if (!entry.grace_pending) {
+    return;
+  }
+  entry.grace_pending = false;
+  ++stats_.grace_cancelled;
+  if (counter_registry_ != nullptr) {
+    ++TelemetryFor(flow_id).grace_cancelled;
+  }
+  TraceThemis(sw.sim(), ThemisTrace::kGraceCancelled, static_cast<uint16_t>(sw.id()),
+              flow_id, entry.grace_nack.psn);
+}
+
+void ThemisD::ReleaseGrace(Switch& sw, uint32_t flow_id, FlowEntry& entry) {
+  if (!entry.grace_pending) {
+    return;
+  }
+  entry.grace_pending = false;
+  ++stats_.grace_expired;
+  ++stats_.nacks_forwarded_valid;
+  if (counter_registry_ != nullptr) {
+    ++TelemetryFor(flow_id).nacks_valid;
+  }
+  // From here on the released NACK is indistinguishable from an
+  // immediately-forwarded valid one — including the spurious/genuine audit.
+  entry.valid_epsn = entry.grace_nack.psn;
+  entry.valid_pending = true;
+  TraceThemis(sw.sim(), ThemisTrace::kGraceExpired, static_cast<uint16_t>(sw.id()), flow_id,
+              entry.grace_nack.psn,
+              static_cast<uint64_t>(sw.sim()->now() - entry.grace_armed));
+  sw.Forward(entry.grace_nack);
+}
+
+void ThemisD::ExpireGraceIfDue(Switch& sw, uint32_t flow_id, FlowEntry& entry) {
+  if (!entry.grace_pending) {
+    return;
+  }
+  // The deadline recedes while pauses keep overlapping the suspect window
+  // (a paused path cannot deliver) and freezes `slack` after the last one:
+  // a merely pause-delayed ePSN packet arrives within the post-pause drain
+  // time, a genuinely lost one never does.
+  const TimePs now = sw.sim()->now();
+  const TimePs overlap = sw.MaxIngressPauseOverlapPs(entry.grace_from, now);
+  if (now >= entry.grace_armed + overlap + config_.grace_slack_ps) {
+    ReleaseGrace(sw, flow_id, entry);
+  }
 }
 
 ThemisD::FlowTelemetry& ThemisD::TelemetryFor(uint32_t flow_id) {
@@ -75,6 +131,8 @@ ThemisD::FlowTelemetry& ThemisD::TelemetryFor(uint32_t flow_id) {
     counter_registry_->RegisterCounter(prefix + ".nack_valid", &t->nacks_valid);
     counter_registry_->RegisterCounter(prefix + ".nack_blocked", &t->nacks_blocked);
     counter_registry_->RegisterCounter(prefix + ".nack_spurious", &t->nacks_spurious);
+    counter_registry_->RegisterCounter(prefix + ".grace_deferred", &t->grace_deferred);
+    counter_registry_->RegisterCounter(prefix + ".grace_cancelled", &t->grace_cancelled);
     counter_registry_->RegisterGauge(prefix + ".bepsn_lag", [this, flow_id] {
       auto fit = flows_.find(flow_id);
       if (fit == flows_.end() || !fit->second.valid || !fit->second.cum_ack_seen) {
@@ -119,6 +177,18 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
     }
   }
 
+  // Grace resolution: the parked NACK's ePSN arriving (original — pause
+  // delay, not loss — or the sender's RTO retransmission, which makes the
+  // NACK moot either way) cancels the hold; any other packet just gives the
+  // deadline a chance to fire.
+  if (entry.grace_pending) {
+    if (pkt.psn == entry.grace_nack.psn) {
+      CancelGrace(sw, pkt.flow_id, entry);
+    } else {
+      ExpireGraceIfDue(sw, pkt.flow_id, entry);
+    }
+  }
+
   // NACK compensation (Section 3.4), checked before the packet is enqueued.
   if (entry.valid) {
     if (pkt.psn == entry.blocked_epsn) {
@@ -141,7 +211,7 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
     }
   }
 
-  entry.queue.Push(pkt.psn);
+  entry.queue.Push(pkt.psn, sw.sim()->now());
   ++stats_.data_tracked;
   TraceThemis(sw.sim(), ThemisTrace::kRingPush, static_cast<uint16_t>(sw.id()), pkt.flow_id,
               pkt.psn, entry.queue.size());
@@ -175,7 +245,34 @@ bool ThemisD::HandleNack(Switch& sw, const Packet& pkt) {
 
   if (SamePath(*tpsn, pkt.psn)) {
     // Eq. 3 holds: the OOO packet shared the expected packet's path, so the
-    // expected packet is genuinely lost. Let the NACK through.
+    // expected packet is genuinely lost — *if* the path only ever delays by
+    // queuing. A PFC pause breaks that premise: park the NACK for the pause
+    // overlap (plus slack) instead of forwarding it.
+    if (config_.pause_grace) {
+      const TimePs now = sw.sim()->now();
+      const TimePs seen = entry.queue.last_match_time();
+      const TimePs from =
+          seen > config_.grace_lookback_ps ? seen - config_.grace_lookback_ps : 0;
+      const TimePs overlap = sw.MaxIngressPauseOverlapPs(from, now);
+      if (overlap > 0) {
+        if (entry.grace_pending) {
+          // One slot per flow: a newer valid verdict releases the older
+          // parked NACK rather than silently dropping it (fail open).
+          ReleaseGrace(sw, pkt.flow_id, entry);
+        }
+        entry.grace_nack = pkt;
+        entry.grace_from = from;
+        entry.grace_armed = now;
+        entry.grace_pending = true;
+        ++stats_.grace_deferred;
+        if (counter_registry_ != nullptr) {
+          ++TelemetryFor(pkt.flow_id).grace_deferred;
+        }
+        TraceThemis(sw.sim(), ThemisTrace::kGraceDeferred, static_cast<uint16_t>(sw.id()),
+                    pkt.flow_id, pkt.psn, static_cast<uint64_t>(overlap));
+        return false;  // held at the ToR; resolved by this flow's own traffic
+      }
+    }
     ++stats_.nacks_forwarded_valid;
     // Arm the verdict audit: watch whether this ePSN's original still shows
     // up (spurious) or the retransmission wins (genuine).

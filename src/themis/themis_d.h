@@ -35,6 +35,21 @@ struct ThemisDConfig {
   size_t queue_capacity = 64;  // PSN-queue entries per QP (Section 4 rule)
   bool truncate_entries = true;
   bool compensation_enabled = true;  // Section 3.4 (ablation knob)
+  // Pause-aware validity (ROADMAP "PFC-aware NACK validity"): Eq. 3 assumes
+  // same-path packets are only delayed by queuing, but a PFC pause stretches
+  // same-path delivery arbitrarily, so under zero loss a share of
+  // reorder-NACKs still tests valid (the spurious-valid audit). With
+  // pause_grace on, a valid NACK whose suspect in-flight window overlaps a
+  // pause this ToR asserted is *deferred* instead of forwarded: it is
+  // dropped if the supposedly-lost ePSN packet shows up (or the NIC's
+  // cumulative ACK passes it), and released once the window — extended by
+  // the still-accumulating pause overlap plus `grace_slack_ps` — expires.
+  // Deferral consumes no simulator events (deadlines are checked on the
+  // flow's own packet stream), so it is provably inert when no pause ever
+  // happens.
+  bool pause_grace = false;
+  TimePs grace_lookback_ps = 0;  // suspect window starts this far before the tPSN
+  TimePs grace_slack_ps = 0;     // quiet time after the last overlapping pause
 };
 
 struct ThemisDStats {
@@ -57,6 +72,12 @@ struct ThemisDStats {
   uint64_t compensated_nacks = 0;          // NACKs generated on the RNIC's behalf
   uint64_t compensations_cancelled = 0;    // BePSN packet showed up after all
   uint64_t compensations_suppressed = 0;   // BePSN was already past the ToR at block time
+  // Pause-aware grace window (pause_grace): valid NACKs held back because a
+  // PFC pause overlapped the suspect in-flight interval, and how each hold
+  // resolved. deferred == cancelled + expired + (still pending).
+  uint64_t grace_deferred = 0;   // valid NACK parked instead of forwarded
+  uint64_t grace_cancelled = 0;  // ePSN arrived during grace: NACK was spurious
+  uint64_t grace_expired = 0;    // window elapsed: NACK released to the sender
 };
 
 class ThemisD : public SwitchHook {
@@ -116,6 +137,13 @@ class ThemisD : public SwitchHook {
     // last NACK forwarded as valid, pending proof of loss vs. delay.
     uint32_t valid_epsn = 0;
     bool valid_pending = false;
+    // Pause-aware grace window: one deferred valid NACK per flow (the RNIC
+    // emits at most one NACK per ePSN epoch, so one slot suffices — mirrors
+    // the single BePSN compensation slot).
+    Packet grace_nack;            // the withheld NACK, forwarded on expiry
+    TimePs grace_from = 0;        // suspect window start (tPSN push - lookback)
+    TimePs grace_armed = 0;       // when the NACK was parked
+    bool grace_pending = false;
   };
 
   // Per-flow verdict tallies, kept apart from FlowEntry so the pointers
@@ -124,6 +152,8 @@ class ThemisD : public SwitchHook {
     uint64_t nacks_valid = 0;
     uint64_t nacks_blocked = 0;
     uint64_t nacks_spurious = 0;
+    uint64_t grace_deferred = 0;
+    uint64_t grace_cancelled = 0;
   };
 
   bool SamePath(uint32_t psn_a, uint32_t psn_b) const {
@@ -134,6 +164,11 @@ class ThemisD : public SwitchHook {
   bool HandleNack(Switch& sw, const Packet& pkt);
   void ObserveCumulativeAck(Switch& sw, uint32_t flow_id, FlowEntry& entry, uint32_t epsn);
   FlowTelemetry& TelemetryFor(uint32_t flow_id);
+
+  // Grace-window resolution (all no-ops unless entry.grace_pending).
+  void CancelGrace(Switch& sw, uint32_t flow_id, FlowEntry& entry);
+  void ReleaseGrace(Switch& sw, uint32_t flow_id, FlowEntry& entry);
+  void ExpireGraceIfDue(Switch& sw, uint32_t flow_id, FlowEntry& entry);
 
   ThemisDConfig config_;
   std::function<bool(const Packet&)> is_cross_rack_;

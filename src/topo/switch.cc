@@ -75,11 +75,13 @@ void Switch::ChargeIngress(int in_port, int64_t bytes) {
   if (ingress_bytes_.size() <= index) {
     ingress_bytes_.resize(index + 1, 0);
     ingress_paused_.resize(index + 1, false);
+    ingress_pause_log_.resize(index + 1);
   }
   ingress_bytes_[index] += bytes;
   if (!ingress_paused_[index] && ingress_bytes_[index] >= pfc_.xoff_bytes) {
     ingress_paused_[index] = true;
     ++stats_.pfc_pauses_sent;
+    ingress_pause_log_[index].Open(sim()->now());
     SendPfcFrame(in_port, /*pause=*/true);
   }
 }
@@ -93,6 +95,7 @@ void Switch::ReleaseIngress(int in_port, int64_t bytes) {
   if (ingress_paused_[index] && ingress_bytes_[index] <= pfc_.xon_bytes) {
     ingress_paused_[index] = false;
     ++stats_.pfc_resumes_sent;
+    ingress_pause_log_[index].Close(sim()->now());
     SendPfcFrame(in_port, /*pause=*/false);
   }
 }

@@ -9,12 +9,14 @@
 #ifndef THEMIS_SRC_TOPO_SWITCH_H_
 #define THEMIS_SRC_TOPO_SWITCH_H_
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "src/lb/policies.h"
 #include "src/net/node.h"
+#include "src/net/pause_log.h"
 #include "src/net/port.h"
 
 namespace themis {
@@ -71,6 +73,24 @@ class Switch : public Node {
                ? ingress_bytes_[static_cast<size_t>(in_port)]
                : 0;
   }
+  // Pause intervals this switch has asserted towards the neighbour on
+  // `in_port` (the in-network observation point the paper gives Themis:
+  // the ToR sees its own pause frames). Null if never asserted.
+  const PauseIntervalLog* IngressPauseLog(int in_port) const {
+    return in_port >= 0 && static_cast<size_t>(in_port) < ingress_pause_log_.size()
+               ? &ingress_pause_log_[static_cast<size_t>(in_port)]
+               : nullptr;
+  }
+  // Max pause time any single upstream neighbour spent paused by this switch
+  // overlapping [from, to]. Upstream pauses on different ingress ports run
+  // concurrently, so the max (not the sum) bounds one packet's extra delay.
+  TimePs MaxIngressPauseOverlapPs(TimePs from, TimePs to) const {
+    TimePs max_overlap = 0;
+    for (const PauseIntervalLog& log : ingress_pause_log_) {
+      max_overlap = std::max(max_overlap, log.OverlapPs(from, to, sim()->now()));
+    }
+    return max_overlap;
+  }
 
   // --- Routing table -------------------------------------------------------
   // Equal-cost egress candidates per destination node id.
@@ -118,6 +138,7 @@ class Switch : public Node {
   PfcConfig pfc_;
   std::vector<int64_t> ingress_bytes_;  // buffered bytes per ingress port
   std::vector<bool> ingress_paused_;    // pause currently asserted upstream
+  std::vector<PauseIntervalLog> ingress_pause_log_;  // assertion history per ingress
   SwitchStats stats_;
 };
 

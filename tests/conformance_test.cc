@@ -1,0 +1,280 @@
+// Property-based conformance suite for the receiver-side NIC-SR contract
+// (paper Section 2.2) — the behaviour every Themis-D inference rests on:
+//
+//  * an OOO arrival provokes a NACK carrying *only the ePSN*, and each ePSN
+//    epoch provokes at most one NACK;
+//  * everything below the cumulative ACK has been delivered, and the ACK
+//    clock never runs backwards;
+//  * OOO packets are held in the bitmap until the gap closes;
+//  * retransmitting exactly the PSN a NACK names always makes progress
+//    (selective-retransmit completeness).
+//
+// Randomized loss/reorder/duplication schedules are played packet-for-packet
+// into a real ReceiverQp and into a brute-force reference receiver written
+// straight from the contract (a PSN set and a linear rescan — no ring
+// buffers, no incremental state). Control stream and visible state must
+// agree after every single delivery.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/rnic/rnic_host.h"
+#include "src/sim/random.h"
+
+namespace themis {
+namespace {
+
+class ControlSink : public Node {
+ public:
+  ControlSink(Simulator* sim, int id, std::string name)
+      : Node(sim, id, NodeKind::kHost, std::move(name)) {}
+  void ReceivePacket(const Packet& pkt, int) override { received.push_back(pkt); }
+  std::vector<Packet> received;
+};
+
+// A ReceiverQp wired to a recording peer: Deliver() hands one data packet to
+// the QP and returns exactly the control packets it provoked.
+struct ConformanceHarness {
+  Simulator sim;
+  Network net{&sim};
+  RnicHost* nic = nullptr;
+  ControlSink* peer = nullptr;
+  ReceiverQp* rx = nullptr;
+  size_t consumed_ = 0;
+
+  explicit ConformanceHarness(TransportKind transport = TransportKind::kNicSr) {
+    nic = net.MakeNode<RnicHost>("rx-nic");
+    peer = net.MakeNode<ControlSink>("peer");
+    LinkSpec spec;
+    spec.propagation_delay = 0;
+    net.Connect(nic, peer, spec);
+    QpConfig config;
+    config.transport = transport;
+    config.cc = CcKind::kFixedRate;
+    config.mtu_bytes = 1500;
+    rx = nic->CreateReceiverQp(/*flow_id=*/1, peer->id(), config);
+  }
+
+  std::vector<Packet> Deliver(uint32_t psn, uint32_t payload, bool retransmission = false) {
+    Packet pkt = MakeDataPacket(1, peer->id(), nic->id(), psn, payload, 0x42);
+    pkt.retransmission = retransmission;
+    rx->HandleData(pkt);
+    sim.Run();  // flush the control queue onto the wire
+    std::vector<Packet> out(peer->received.begin() + static_cast<long>(consumed_),
+                            peer->received.end());
+    consumed_ = peer->received.size();
+    return out;
+  }
+};
+
+struct RefControl {
+  PacketType type;
+  uint32_t psn;
+};
+
+// Brute-force NIC-SR reference receiver, transliterated from the contract.
+class ReferenceNicSr {
+ public:
+  std::vector<RefControl> Deliver(uint32_t psn, uint32_t payload) {
+    std::vector<RefControl> out;
+    if (psn == epsn_) {
+      bytes_ += payload;
+      ++epsn_;
+      nacked_current_ = false;
+      // Rescan: drain everything now contiguous.
+      for (auto it = ooo_.find(epsn_); it != ooo_.end(); it = ooo_.find(epsn_)) {
+        bytes_ += it->second;
+        ooo_.erase(it);
+        ++epsn_;
+      }
+      out.push_back({PacketType::kAck, epsn_});
+    } else if (psn > epsn_) {
+      if (ooo_.count(psn) != 0) {
+        out.push_back({PacketType::kAck, epsn_});  // duplicate: ACK so the sender advances
+      } else {
+        ooo_.emplace(psn, payload);
+        if (!nacked_current_) {
+          out.push_back({PacketType::kNack, epsn_});  // the ePSN, never the trigger PSN
+          nacked_current_ = true;
+        }
+      }
+    } else {
+      out.push_back({PacketType::kAck, epsn_});  // stale duplicate
+    }
+    return out;
+  }
+
+  uint32_t epsn() const { return epsn_; }
+  size_t ooo_size() const { return ooo_.size(); }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  uint32_t epsn_ = 0;
+  std::unordered_map<uint32_t, uint32_t> ooo_;  // psn -> payload
+  bool nacked_current_ = false;
+  uint64_t bytes_ = 0;
+};
+
+// Tracks the stream-level invariants across a whole schedule.
+struct StreamInvariants {
+  uint32_t last_ack = 0;
+  bool any_ack = false;
+  int64_t last_nack_psn = -1;
+
+  void Observe(const Packet& pkt) {
+    if (pkt.type == PacketType::kAck) {
+      if (any_ack) {
+        EXPECT_GE(pkt.psn, last_ack) << "cumulative ACK ran backwards";
+      }
+      last_ack = pkt.psn;
+      any_ack = true;
+    } else if (pkt.type == PacketType::kNack) {
+      // ePSN only advances, and each epoch NACKs at most once, so the NACKed
+      // PSNs must be strictly increasing.
+      EXPECT_GT(static_cast<int64_t>(pkt.psn), last_nack_psn)
+          << "second NACK for the same ePSN epoch";
+      last_nack_psn = pkt.psn;
+    }
+  }
+};
+
+uint32_t PayloadFor(uint32_t psn) { return 100 + (psn % 7) * 50; }
+
+// Plays one delivery into both receivers and checks control-stream equality
+// plus state equality (ePSN, bitmap occupancy, in-order bytes).
+void Step(ConformanceHarness& h, ReferenceNicSr& ref, StreamInvariants& inv, uint32_t psn,
+          bool retransmission, uint64_t seed) {
+  const std::vector<Packet> actual = h.Deliver(psn, PayloadFor(psn), retransmission);
+  const std::vector<RefControl> expected = ref.Deliver(psn, PayloadFor(psn));
+  ASSERT_EQ(actual.size(), expected.size()) << "seed " << seed << " psn " << psn;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].type, expected[i].type) << "seed " << seed << " psn " << psn;
+    EXPECT_EQ(actual[i].psn, expected[i].psn) << "seed " << seed << " psn " << psn;
+    inv.Observe(actual[i]);
+  }
+  EXPECT_EQ(h.rx->epsn(), ref.epsn()) << "seed " << seed << " psn " << psn;
+  EXPECT_EQ(h.rx->ooo_depth(), ref.ooo_size()) << "seed " << seed << " psn " << psn;
+  EXPECT_EQ(h.rx->in_order_bytes(), ref.bytes()) << "seed " << seed << " psn " << psn;
+}
+
+// A randomized spray schedule: loss, in-flight duplication, arbitrary
+// reorder (a Fisher-Yates shuffle — packet spraying makes no ordering
+// promises at all).
+std::vector<uint32_t> MakeSchedule(Rng& rng, uint32_t packets, double loss_p, double dup_p) {
+  std::vector<uint32_t> schedule;
+  for (uint32_t psn = 0; psn < packets; ++psn) {
+    if (rng.Chance(loss_p)) {
+      continue;  // lost in the fabric
+    }
+    schedule.push_back(psn);
+    if (rng.Chance(dup_p)) {
+      schedule.push_back(psn);  // duplicated (e.g. a spurious retransmission)
+    }
+  }
+  for (size_t i = schedule.size(); i > 1; --i) {
+    std::swap(schedule[i - 1], schedule[rng.Below(i)]);
+  }
+  return schedule;
+}
+
+TEST(NicSrConformanceTest, RandomizedSchedulesMatchReferenceReceiver) {
+  constexpr uint32_t kPackets = 48;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ConformanceHarness h;
+    ReferenceNicSr ref;
+    StreamInvariants inv;
+    Rng rng(seed);
+    for (uint32_t psn : MakeSchedule(rng, kPackets, /*loss_p=*/0.15, /*dup_p=*/0.10)) {
+      Step(h, ref, inv, psn, /*retransmission=*/false, seed);
+    }
+
+    // Selective-retransmit completeness: resend exactly the PSN the receiver
+    // names (its ePSN) one at a time; every retransmission must advance ePSN
+    // and recovery must terminate with an empty bitmap and all bytes
+    // delivered in order.
+    while (h.rx->epsn() < kPackets) {
+      const uint32_t gap = h.rx->epsn();
+      Step(h, ref, inv, gap, /*retransmission=*/true, seed);
+      ASSERT_GT(h.rx->epsn(), gap) << "seed " << seed
+                                   << ": retransmitting the named gap did not advance ePSN";
+    }
+    EXPECT_EQ(h.rx->ooo_depth(), 0u);
+    uint64_t total = 0;
+    for (uint32_t psn = 0; psn < kPackets; ++psn) {
+      total += PayloadFor(psn);
+    }
+    EXPECT_EQ(h.rx->in_order_bytes(), total) << "seed " << seed;
+  }
+}
+
+TEST(NicSrConformanceTest, NackNamesTheExpectedPsnNotTheTrigger) {
+  // Section 2.2: the NACK omits the triggering PSN — reconstructing it (the
+  // tPSN) is exactly the job Themis-D's PSN queue exists for.
+  ConformanceHarness h;
+  h.Deliver(0, 1000);
+  const std::vector<Packet> ctrl = h.Deliver(7, 1000);
+  ASSERT_EQ(ctrl.size(), 1u);
+  EXPECT_EQ(ctrl[0].type, PacketType::kNack);
+  EXPECT_EQ(ctrl[0].psn, 1u);
+}
+
+TEST(NicSrConformanceTest, MessageCompletionsFireOnInOrderBoundaryOnly) {
+  // Receive completions must follow the *in-order* byte stream: a message
+  // whose packets all arrived but whose predecessor still has a gap is not
+  // complete. Closing the gap completes everything at once.
+  ConformanceHarness h;
+  int completed = 0;
+  h.rx->ExpectMessage(3 * 1000, [&] { ++completed; });
+  h.rx->ExpectMessage(3 * 1000, [&] { ++completed; });
+  for (uint32_t psn = 5; psn >= 1; --psn) {
+    h.Deliver(psn, 1000);
+  }
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(h.rx->ooo_depth(), 5u);
+  h.Deliver(0, 1000);
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(h.rx->stats().messages_delivered, 2u);
+  EXPECT_EQ(h.rx->ooo_depth(), 0u);
+}
+
+TEST(NicSrConformanceTest, IdealOracleNeverNacksUnderAnySchedule) {
+  // The Fig. 1d oracle: the same randomized spray schedules (no loss, so
+  // recovery is not needed) produce zero NACKs and full delivery.
+  constexpr uint32_t kPackets = 32;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ConformanceHarness h(TransportKind::kIdeal);
+    Rng rng(seed);
+    for (uint32_t psn : MakeSchedule(rng, kPackets, /*loss_p=*/0.0, /*dup_p=*/0.10)) {
+      h.Deliver(psn, PayloadFor(psn));
+    }
+    EXPECT_EQ(h.rx->stats().nacks_sent, 0u) << "seed " << seed;
+    EXPECT_EQ(h.rx->epsn(), kPackets) << "seed " << seed;
+    EXPECT_EQ(h.rx->ooo_depth(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(NicSrConformanceTest, GoBackNDropsOooAndRenacksPerEpoch) {
+  // The CX-4/5 baseline the paper contrasts against: OOO packets are
+  // discarded (never buffered), with the same one-NACK-per-ePSN pacing.
+  ConformanceHarness h(TransportKind::kGoBackN);
+  h.Deliver(0, 1000);  // ACK(1)
+  h.Deliver(2, 1000);  // dropped + NACK(1)
+  h.Deliver(3, 1000);  // dropped, same epoch: no second NACK
+  EXPECT_EQ(h.rx->stats().nacks_sent, 1u);
+  EXPECT_EQ(h.rx->stats().dropped_ooo, 2u);
+  EXPECT_EQ(h.rx->ooo_depth(), 0u);
+  h.Deliver(1, 1000);  // gap closes, but 2 and 3 were discarded
+  EXPECT_EQ(h.rx->epsn(), 2u);
+  const std::vector<Packet> ctrl = h.Deliver(3, 1000);  // new epoch -> new NACK
+  ASSERT_EQ(ctrl.size(), 1u);
+  EXPECT_EQ(ctrl[0].type, PacketType::kNack);
+  EXPECT_EQ(ctrl[0].psn, 2u);
+}
+
+}  // namespace
+}  // namespace themis

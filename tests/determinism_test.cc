@@ -24,84 +24,23 @@
 
 #include "src/core/experiment.h"
 #include "src/core/sweep_runner.h"
+#include "src/core/trace_digest.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/telemetry.h"
 
 namespace themis {
 namespace {
 
-uint64_t FnvMix(uint64_t h, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-uint64_t DigestExperiment(Experiment& exp) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  h = FnvMix(h, static_cast<uint64_t>(exp.sim().now()));
-  for (int i = 0; i < exp.host_count(); ++i) {
-    for (const SenderQp* qp : exp.host(i)->sender_qps()) {
-      const SenderQpStats& s = qp->stats();
-      h = FnvMix(h, qp->flow_id());
-      h = FnvMix(h, static_cast<uint64_t>(s.first_post_time));
-      h = FnvMix(h, static_cast<uint64_t>(s.last_completion_time));
-      h = FnvMix(h, s.data_packets_sent);
-      h = FnvMix(h, s.data_bytes_sent);
-      h = FnvMix(h, s.rtx_packets);
-      h = FnvMix(h, s.rtx_bytes);
-      h = FnvMix(h, s.acks_received);
-      h = FnvMix(h, s.nacks_received);
-      h = FnvMix(h, s.cnps_received);
-      h = FnvMix(h, s.timeouts);
-      h = FnvMix(h, s.messages_completed);
-      h = FnvMix(h, qp->snd_una());
-      h = FnvMix(h, qp->snd_nxt());
-    }
-    for (const ReceiverQp* qp : exp.host(i)->receiver_qps()) {
-      const ReceiverQpStats& s = qp->stats();
-      h = FnvMix(h, s.data_packets);
-      h = FnvMix(h, s.goodput_bytes);
-      h = FnvMix(h, s.ooo_arrivals);
-      h = FnvMix(h, s.duplicates);
-      h = FnvMix(h, s.acks_sent);
-      h = FnvMix(h, s.nacks_sent);
-      h = FnvMix(h, s.cnps_sent);
-    }
-  }
-  for (uint64_t b : exp.SpineDataBytes()) {
-    h = FnvMix(h, b);
-  }
-  h = FnvMix(h, exp.TotalPortDrops());
-  h = FnvMix(h, exp.TotalPfcPauses());
-  h = FnvMix(h, exp.TotalDataBytesSent());
-  return h;
-}
-
-// A small but non-trivial experiment: 2x2x2 leaf-spine, cross-rack
-// allreduce, DCQCN with aggressive timers, 100 ns fabric skew (so OOO,
-// NACKs, CNPs, RTOs all occur).
-ExperimentConfig DeterminismConfig(Scheme scheme, uint64_t seed) {
-  ExperimentConfig config;
-  config.seed = seed;
-  config.num_tors = 2;
-  config.num_spines = 2;
-  config.hosts_per_tor = 2;
-  config.link_rate = Rate::Gbps(100);
-  config.scheme = scheme;
-  config.dcqcn_ti = 10 * kMicrosecond;
-  config.dcqcn_td = 50 * kMicrosecond;
-  config.fabric_delay_skew = 100 * kNanosecond;
-  return config;
-}
+// FnvMix / DigestExperiment / DeterminismConfig live in
+// src/core/trace_digest.h, shared with tools/golden_hashes.cc so the
+// `regen-goldens` target regenerates the table below mechanically.
 
 // `traced`: attach a full Telemetry bundle (trace sink + counter sampling)
 // for the whole run. Telemetry is pure observation, so the digest must be
 // bit-identical either way.
 uint64_t TraceHash(Scheme scheme, uint64_t seed, bool traced = false,
-                   uint64_t* calendar_scheduled_out = nullptr) {
-  Experiment exp(DeterminismConfig(scheme, seed));
+                   uint64_t* calendar_scheduled_out = nullptr, bool pfc = true) {
+  Experiment exp(DeterminismConfig(scheme, seed, pfc));
   std::unique_ptr<Telemetry> telemetry;
   if (traced) {
     telemetry = std::make_unique<Telemetry>(&exp.sim());
@@ -125,25 +64,33 @@ uint64_t TraceHash(Scheme scheme, uint64_t seed, bool traced = false,
 struct Golden {
   Scheme scheme;
   uint64_t seed;
+  bool pfc;
   uint64_t hash;
 };
 
-// Captured on the pre-refactor seed engine (commit ae2f4b5 tree).
+// PFC rows captured on the pre-refactor seed engine (commit ae2f4b5 tree).
+// Regenerate with `cmake --build build --target regen-goldens` — never by
+// hand.  The non-PFC Themis rows pin that pause-aware logic (the Themis-D
+// grace window) is inert when no pause ever happens.
+// GOLDEN-TABLE-BEGIN
 const Golden kGoldens[] = {
-    {Scheme::kEcmp, 1, 0x481B974E05BFEAEDULL},
-    {Scheme::kEcmp, 2, 0x481B974E05BFEAEDULL},
-    {Scheme::kAdaptiveRouting, 1, 0x8C79B1663DE3E1BAULL},
-    {Scheme::kAdaptiveRouting, 2, 0x8F6510D58A38DBA0ULL},
-    {Scheme::kThemis, 1, 0x71D337633D87729FULL},
-    {Scheme::kThemis, 2, 0x71D337633D87729FULL},
-    {Scheme::kRandomSpray, 1, 0xEEFDDECD52C4665CULL},
-    {Scheme::kRandomSpray, 2, 0xDD3C1BDE8020F590ULL},
+    {Scheme::kEcmp, 1, true, 0x481B974E05BFEAEDULL},
+    {Scheme::kEcmp, 2, true, 0x481B974E05BFEAEDULL},
+    {Scheme::kAdaptiveRouting, 1, true, 0x8C79B1663DE3E1BAULL},
+    {Scheme::kAdaptiveRouting, 2, true, 0x8F6510D58A38DBA0ULL},
+    {Scheme::kThemis, 1, true, 0x71D337633D87729FULL},
+    {Scheme::kThemis, 2, true, 0x71D337633D87729FULL},
+    {Scheme::kRandomSpray, 1, true, 0xEEFDDECD52C4665CULL},
+    {Scheme::kRandomSpray, 2, true, 0xDD3C1BDE8020F590ULL},
+    {Scheme::kThemis, 1, false, 0x71D337633D87729FULL},
+    {Scheme::kThemis, 2, false, 0x71D337633D87729FULL},
 };
+// GOLDEN-TABLE-END
 
 TEST(DeterminismTest, TraceHashesMatchSeedEngineGoldens) {
   for (const Golden& g : kGoldens) {
-    EXPECT_EQ(TraceHash(g.scheme, g.seed), g.hash)
-        << SchemeName(g.scheme) << " seed=" << g.seed;
+    EXPECT_EQ(TraceHash(g.scheme, g.seed, /*traced=*/false, nullptr, g.pfc), g.hash)
+        << SchemeName(g.scheme) << " seed=" << g.seed << " pfc=" << g.pfc;
   }
 }
 

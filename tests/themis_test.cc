@@ -558,6 +558,143 @@ TEST(DeploymentTest, SportRewriteSpraysAcrossAllSpines) {
   }
 }
 
+// --- Pause-aware grace window (PFC-aware Eq. 3 validity) ----------------------
+
+ThemisDConfig GraceConfig() {
+  return ThemisDConfig{.num_paths = 2,
+                       .queue_capacity = 16,
+                       .truncate_entries = true,
+                       .compensation_enabled = true,
+                       .pause_grace = true,
+                       .grace_lookback_ps = 10 * kMicrosecond,
+                       .grace_slack_ps = 10 * kMicrosecond};
+}
+
+// Injects the Fig. 4b "right" arrival pattern (0,1,2,3,6 — ePSN 4 looks
+// genuinely lost) sized so the burst itself trips the ToR's xoff threshold:
+// 5 x 1064 wire bytes against xoff=2500 pauses the spine-facing ingress at
+// t=0, before any of the t=0 injections have drained.
+void BlastSuspectPattern(ThemisDHarness& h) {
+  for (uint32_t psn : {0u, 1u, 2u, 3u, 6u}) {
+    h.DataAtDstTor(psn);
+  }
+}
+
+void EnablePfcAtDstTor(ThemisDHarness& h) {
+  h.dst_tor->ConfigurePfc(PfcConfig{.enabled = true, .xoff_bytes = 2'500, .xon_bytes = 1'000});
+}
+
+TEST(ThemisDGraceTest, DefersValidNackWhenPauseOverlapsSuspectWindow) {
+  ThemisDHarness h(GraceConfig());
+  EnablePfcAtDstTor(h);
+  BlastSuspectPattern(h);
+  // The burst paused ingress port 1 (the spine uplink the data came in on).
+  const PauseIntervalLog* log = h.dst_tor->IngressPauseLog(1);
+  ASSERT_NE(log, nullptr);
+  EXPECT_TRUE(log->open());
+  // The NACK arrives while the pause is still open: Eq. 3 says valid
+  // (6 mod 2 == 4 mod 2), but the overlap defers it instead of forwarding.
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  EXPECT_EQ(h.SenderNacks(), 0u);
+  EXPECT_EQ(h.hook->stats().nacks_seen, 1u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 1u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_valid, 0u);
+  EXPECT_EQ(h.hook->stats().grace_cancelled, 0u);
+  EXPECT_EQ(h.hook->stats().grace_expired, 0u);
+}
+
+TEST(ThemisDGraceTest, CancelsDeferredNackWhenOriginalArrives) {
+  // The pre-fix spurious-valid scenario, fixed: the "lost" packet was only
+  // pause-delayed and shows up — the parked NACK is dropped, the sender
+  // never sees it, and no spurious retransmission happens.
+  ThemisDHarness h(GraceConfig());
+  EnablePfcAtDstTor(h);
+  BlastSuspectPattern(h);
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  h.sim.Schedule(200 * kNanosecond, [&h] { h.DataAtDstTor(4); });
+  EXPECT_EQ(h.SenderNacks(), 0u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 1u);
+  EXPECT_EQ(h.hook->stats().grace_cancelled, 1u);
+  EXPECT_EQ(h.hook->stats().grace_expired, 0u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_valid, 0u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_spurious, 0u);
+}
+
+TEST(ThemisDGraceTest, WithoutGraceTheSameScheduleForwardsSpuriousValid) {
+  // Regression pin for the pre-fix behaviour: identical schedule, grace off
+  // -> Eq. 3 forwards the NACK as valid and the audit convicts it as
+  // spurious once the original arrives.
+  ThemisDHarness h;  // default config: pause_grace = false
+  EnablePfcAtDstTor(h);
+  BlastSuspectPattern(h);
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  h.sim.Schedule(200 * kNanosecond, [&h] { h.DataAtDstTor(4); });
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_valid, 1u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_spurious, 1u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 0u);
+}
+
+TEST(ThemisDGraceTest, ReleasesNackAfterExpiryOnGenuineLoss) {
+  // PSN 4 really is lost: nothing cancels the deferred NACK, so once the
+  // extended window (armed time + accumulated pause overlap + slack)
+  // elapses, the NACK is released to the sender — grace never swallows a
+  // genuine loss signal.
+  ThemisDHarness h(GraceConfig());
+  EnablePfcAtDstTor(h);
+  BlastSuspectPattern(h);
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  // Deadline checks ride the flow's own packet stream: a later packet past
+  // the ~10.1 us deadline (slack 10 us + sub-us pause overlap) triggers the
+  // release without any dedicated simulator event.
+  h.sim.Schedule(30 * kMicrosecond, [&h] { h.DataAtDstTor(8); });
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 1u);
+  EXPECT_EQ(h.hook->stats().grace_expired, 1u);
+  EXPECT_EQ(h.hook->stats().grace_cancelled, 0u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_valid, 1u);
+  ASSERT_FALSE(h.sender->received.empty());
+  EXPECT_EQ(h.sender->received.back().type, PacketType::kNack);
+  EXPECT_EQ(h.sender->received.back().psn, 4u);
+
+  // The sender's retransmission closes the loop: the released NACK is
+  // audited genuine, not spurious.
+  Packet rtx = MakeDataPacket(1, h.sender->id(), h.receiver->id(), 4, 1000, 0x42);
+  rtx.retransmission = true;
+  h.dst_tor->ReceivePacket(rtx, /*in=*/1);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_genuine, 1u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_spurious, 0u);
+}
+
+TEST(ThemisDGraceTest, RtoRetransmissionCancelsDeferredNack) {
+  // If the sender recovers PSN 4 via RTO while the NACK is parked, the NACK
+  // is moot: releasing it would only trigger a duplicate retransmission.
+  ThemisDHarness h(GraceConfig());
+  EnablePfcAtDstTor(h);
+  BlastSuspectPattern(h);
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  h.sim.Schedule(200 * kNanosecond, [&h] {
+    Packet rtx = MakeDataPacket(1, h.sender->id(), h.receiver->id(), 4, 1000, 0x42);
+    rtx.retransmission = true;
+    h.dst_tor->ReceivePacket(rtx, /*in=*/1);
+  });
+  EXPECT_EQ(h.SenderNacks(), 0u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 1u);
+  EXPECT_EQ(h.hook->stats().grace_cancelled, 1u);
+}
+
+TEST(ThemisDGraceTest, InertWithoutPauses) {
+  // No PFC configured -> no pause ever -> zero overlap -> the grace-enabled
+  // hook behaves bit-for-bit like plain Eq. 3 (this is what keeps the
+  // determinism goldens unchanged for pause-free configs).
+  ThemisDHarness h(GraceConfig());
+  BlastSuspectPattern(h);
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  EXPECT_EQ(h.hook->stats().nacks_forwarded_valid, 1u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 0u);
+}
+
 TEST(ThemisSTest, DoesNotRewriteIntraRackTraffic) {
   DeployHarness h;
   ThemisDeploymentConfig config;

@@ -1,0 +1,69 @@
+// Prints the determinism golden table (tests/determinism_test.cc) for the
+// current engine, one C++ initializer row per line. tools/regen_goldens.py
+// splices the output between the GOLDEN-TABLE markers and shows the diff, so
+// behaviour-shifting PRs regenerate goldens mechanically instead of
+// hand-editing hex constants.
+
+#include <cstdio>
+
+#include "src/core/trace_digest.h"
+
+namespace themis {
+namespace {
+
+constexpr const char* SchemeToken(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kEcmp:
+      return "Scheme::kEcmp";
+    case Scheme::kAdaptiveRouting:
+      return "Scheme::kAdaptiveRouting";
+    case Scheme::kThemis:
+      return "Scheme::kThemis";
+    case Scheme::kRandomSpray:
+      return "Scheme::kRandomSpray";
+    case Scheme::kFlowlet:
+      return "Scheme::kFlowlet";
+    case Scheme::kSprayReorder:
+      return "Scheme::kSprayReorder";
+  }
+  return "?";
+}
+
+int Main() {
+  // Keep this list in lockstep with the golden table's row set: the script
+  // replaces the whole table with exactly these rows.
+  struct Row {
+    Scheme scheme;
+    uint64_t seed;
+    bool pfc;
+  };
+  constexpr Row kRows[] = {
+      {Scheme::kEcmp, 1, true},
+      {Scheme::kEcmp, 2, true},
+      {Scheme::kAdaptiveRouting, 1, true},
+      {Scheme::kAdaptiveRouting, 2, true},
+      {Scheme::kThemis, 1, true},
+      {Scheme::kThemis, 2, true},
+      {Scheme::kRandomSpray, 1, true},
+      {Scheme::kRandomSpray, 2, true},
+      // Non-PFC pins: no pause ever happens, so pause-aware mechanisms
+      // (Themis-D grace window) must be provably inert here.
+      {Scheme::kThemis, 1, false},
+      {Scheme::kThemis, 2, false},
+  };
+  std::printf("const Golden kGoldens[] = {\n");
+  for (const Row& row : kRows) {
+    const uint64_t hash = GoldenTraceHash(row.scheme, row.seed, row.pfc);
+    std::printf("    {%s, %llu, %s, 0x%016llXULL},\n", SchemeToken(row.scheme),
+                static_cast<unsigned long long>(row.seed), row.pfc ? "true" : "false",
+                static_cast<unsigned long long>(hash));
+    std::fflush(stdout);
+  }
+  std::printf("};\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace themis
+
+int main() { return themis::Main(); }

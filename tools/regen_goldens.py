@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate the determinism golden table in tests/determinism_test.cc.
+
+Runs the golden_hashes binary (which prints one C++ initializer row per
+golden point for the *current* engine), splices its output between the
+GOLDEN-TABLE-BEGIN/END markers in the test file, and prints a unified diff
+of what changed.  With --check, the file is left untouched and the script
+exits non-zero if the table is stale.
+
+Usual invocation is via the cmake target, from the repo root:
+
+    cmake --build build --target regen-goldens
+
+which builds the tool and runs this script.  A non-empty diff means the
+engine's observable behaviour changed; commit the new table only if that
+change is intended (and say why in the commit message).
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+BEGIN = "// GOLDEN-TABLE-BEGIN"
+END = "// GOLDEN-TABLE-END"
+
+
+def splice(text: str, rows: str) -> str:
+    begin = text.index(BEGIN)
+    end = text.index(END)
+    if end < begin:
+        raise SystemExit("golden table markers out of order")
+    head = text[: text.index("\n", begin) + 1]
+    tail = text[end:]
+    return head + rows + tail
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tool", required=True,
+                        help="path to the built golden_hashes binary")
+    parser.add_argument("--test-file", required=True,
+                        help="path to tests/determinism_test.cc")
+    parser.add_argument("--check", action="store_true",
+                        help="diff only; exit 1 if the table is stale")
+    args = parser.parse_args()
+
+    test_path = pathlib.Path(args.test_file)
+    old = test_path.read_text()
+    if BEGIN not in old or END not in old:
+        raise SystemExit(f"{test_path}: golden table markers not found")
+
+    rows = subprocess.run([args.tool], check=True, capture_output=True,
+                          text=True).stdout
+    if not rows.strip():
+        raise SystemExit(f"{args.tool} produced no output")
+
+    new = splice(old, rows)
+    diff = list(difflib.unified_diff(old.splitlines(keepends=True),
+                                     new.splitlines(keepends=True),
+                                     fromfile=str(test_path),
+                                     tofile=f"{test_path} (regenerated)"))
+    if not diff:
+        print("golden table up to date")
+        return 0
+
+    sys.stdout.writelines(diff)
+    if args.check:
+        print("\ngolden table is STALE (run the regen-goldens target)")
+        return 1
+
+    test_path.write_text(new)
+    print(f"\nupdated {test_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
