@@ -241,15 +241,19 @@ double BestChurnRate(const char* label, int num_flows, uint64_t budget, int reps
 
 // --- Real Fig.-1-scale run ---------------------------------------------------
 
-// Per-tier schedule counts of the last rep, for the CI artifact.
+// Per-tier schedule counts and burst shape of the last rep, for the CI
+// artifact and the burst-on/off ablation.
 struct TierBreakdown {
   uint64_t heap = 0;
   uint64_t wheel = 0;
   uint64_t calendar = 0;
   double best_events_per_sec = 0.0;
+  uint64_t events_executed = 0;  // determinism anchor: identical across reps & modes
+  SimBurstStats burst;
 };
 
-TierBreakdown RunFig1Scale(int reps) {
+TierBreakdown RunFig1Scale(int reps, bool burst_enabled) {
+  const char* label = burst_enabled ? "fig1/burst-on " : "fig1/burst-off";
   TierBreakdown breakdown;
   for (int r = 0; r < reps; ++r) {
     ExperimentConfig config;
@@ -264,6 +268,7 @@ TierBreakdown RunFig1Scale(int reps) {
     config.dcqcn_td = 200 * kMicrosecond;
     config.fabric_delay_skew = 200 * kNanosecond;
     Experiment exp(config);
+    exp.sim().set_burst_enabled(burst_enabled);
     const std::vector<std::vector<int>> rings = {{0, 4, 1, 5}, {2, 6, 3, 7}};
     const auto t0 = std::chrono::steady_clock::now();
     auto result =
@@ -271,15 +276,16 @@ TierBreakdown RunFig1Scale(int reps) {
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     const double rate = exp.sim().events_executed() / secs / 1e6;
-    std::printf("  fig1-scale   rep=%d done=%d sim_ms=%.3f executed=%llu wall=%.3fs -> "
+    std::printf("  %s rep=%d done=%d sim_ms=%.3f executed=%llu wall=%.3fs -> "
                 "%.2f M events/s\n",
-                r, result.all_done ? 1 : 0, ToMilliseconds(result.tail_completion),
+                label, r, result.all_done ? 1 : 0, ToMilliseconds(result.tail_completion),
                 static_cast<unsigned long long>(exp.sim().events_executed()), secs, rate);
     const EventQueue& q = exp.sim().queue();
-    breakdown = TierBreakdown{q.heap_scheduled(), q.wheel_scheduled(), q.calendar_scheduled(),
-                              rate > breakdown.best_events_per_sec
-                                  ? rate
-                                  : breakdown.best_events_per_sec};
+    const double best = rate > breakdown.best_events_per_sec ? rate
+                                                             : breakdown.best_events_per_sec;
+    breakdown = TierBreakdown{q.heap_scheduled(),     q.wheel_scheduled(),
+                              q.calendar_scheduled(), best,
+                              exp.sim().events_executed(), exp.sim().burst_stats()};
   }
   std::printf("  per-tier scheduled: heap=%llu wheel=%llu calendar=%llu "
               "(calendar share %.1f%%)\n",
@@ -288,12 +294,29 @@ TierBreakdown RunFig1Scale(int reps) {
               static_cast<unsigned long long>(breakdown.calendar),
               100.0 * static_cast<double>(breakdown.calendar) /
                   static_cast<double>(breakdown.heap + breakdown.wheel + breakdown.calendar));
+  if (burst_enabled && breakdown.burst.bursts > 0) {
+    const SimBurstStats& b = breakdown.burst;
+    std::printf("  bursts=%llu burst_events=%llu (%.1f%% of executed, mean len %.2f)\n",
+                static_cast<unsigned long long>(b.bursts),
+                static_cast<unsigned long long>(b.burst_events),
+                100.0 * static_cast<double>(b.burst_events) /
+                    static_cast<double>(breakdown.events_executed),
+                static_cast<double>(b.burst_events) / static_cast<double>(b.bursts));
+    std::printf("  burst length histogram:");
+    for (size_t k = 0; k < SimBurstStats::kLenBuckets; ++k) {
+      std::printf(" le%llu=%llu",
+                  static_cast<unsigned long long>(SimBurstStats::BucketCeiling(k)),
+                  static_cast<unsigned long long>(b.len_hist[k]));
+    }
+    std::printf("\n");
+  }
   return breakdown;
 }
 
-// Writes the per-tier breakdown as CSV when THEMIS_HOTPATH_CSV names a path;
-// CI uploads it as an artifact.
-void MaybeWriteTierCsv(const TierBreakdown& breakdown) {
+// Writes the per-tier breakdown plus the burst-on/off ablation as CSV when
+// THEMIS_HOTPATH_CSV names a path; CI uploads it as an artifact and compares
+// the two rate rows.
+void MaybeWriteTierCsv(const TierBreakdown& on, const TierBreakdown& off) {
   const char* path = std::getenv("THEMIS_HOTPATH_CSV");
   if (path == nullptr || path[0] == '\0') {
     return;
@@ -304,10 +327,41 @@ void MaybeWriteTierCsv(const TierBreakdown& breakdown) {
     return;
   }
   std::fprintf(f, "tier,events_scheduled\nheap,%llu\nwheel,%llu\ncalendar,%llu\n",
-               static_cast<unsigned long long>(breakdown.heap),
-               static_cast<unsigned long long>(breakdown.wheel),
-               static_cast<unsigned long long>(breakdown.calendar));
-  std::fprintf(f, "fig1_best_events_per_sec,%.0f\n", breakdown.best_events_per_sec * 1e6);
+               static_cast<unsigned long long>(on.heap),
+               static_cast<unsigned long long>(on.wheel),
+               static_cast<unsigned long long>(on.calendar));
+  std::fprintf(f, "fig1_best_events_per_sec,%.0f\n", on.best_events_per_sec * 1e6);
+  std::fprintf(f, "fig1_burst_off_events_per_sec,%.0f\n", off.best_events_per_sec * 1e6);
+  std::fprintf(f, "fig1_burst_speedup,%.3f\n",
+               on.best_events_per_sec / off.best_events_per_sec);
+  std::fprintf(f, "fig1_events_executed_on,%llu\n",
+               static_cast<unsigned long long>(on.events_executed));
+  std::fprintf(f, "fig1_events_executed_off,%llu\n",
+               static_cast<unsigned long long>(off.events_executed));
+  std::fclose(f);
+}
+
+// Per-burst-length breakdown (burst-on run) as its own CSV when
+// THEMIS_BURST_CSV names a path.
+void MaybeWriteBurstCsv(const TierBreakdown& on) {
+  const char* path = std::getenv("THEMIS_BURST_CSV");
+  if (path == nullptr || path[0] == '\0') {
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "len_ceiling,bursts\n");
+  for (size_t k = 0; k < SimBurstStats::kLenBuckets; ++k) {
+    std::fprintf(f, "%llu,%llu\n",
+                 static_cast<unsigned long long>(SimBurstStats::BucketCeiling(k)),
+                 static_cast<unsigned long long>(on.burst.len_hist[k]));
+  }
+  std::fprintf(f, "total_bursts,%llu\ntotal_burst_events,%llu\n",
+               static_cast<unsigned long long>(on.burst.bursts),
+               static_cast<unsigned long long>(on.burst.burst_events));
   std::fclose(f);
 }
 
@@ -330,6 +384,17 @@ int main() {
               wheel_rate / legacy_rate);
 
   std::printf("Fig.1-scale collective (2 tors x 4 spines x 4 hosts, RandomSpray/NIC-SR/DCQCN):\n");
-  MaybeWriteTierCsv(RunFig1Scale(kReps));
+  const TierBreakdown off = RunFig1Scale(kReps, /*burst_enabled=*/false);
+  const TierBreakdown on = RunFig1Scale(kReps, /*burst_enabled=*/true);
+  std::printf("fig1 burst ablation (best of %d): off=%.2f on=%.2f M events/s -> %.2fx",
+              kReps, off.best_events_per_sec, on.best_events_per_sec,
+              on.best_events_per_sec / off.best_events_per_sec);
+  std::printf(off.events_executed == on.events_executed
+                  ? " (identical %llu events executed)\n"
+                  : " (EVENT COUNT DIVERGED: off=%llu on=%llu)\n",
+              static_cast<unsigned long long>(off.events_executed),
+              static_cast<unsigned long long>(on.events_executed));
+  MaybeWriteTierCsv(on, off);
+  MaybeWriteBurstCsv(on);
   return 0;
 }

@@ -99,19 +99,17 @@ void Port::StartNextTransmission() {
   const TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
 
   // Wire frees up after serialization completes. Both events below are the
-  // per-packet hot path — they ride the calendar tier (ScheduleSerialization
-  // routes to it when the deadline is within the calendar horizon) and go
-  // through the inline-only overload: a capture that outgrows the event's
-  // inline buffer fails to compile rather than silently reintroducing a
-  // per-packet allocation.
-  sim_->ScheduleSerialization(serialization, [this] { StartNextTransmission(); });
+  // per-packet hot path: tagged, callback-free calendar entries that
+  // Port::DispatchBurst decodes — and, when several fire on one tick, drains
+  // as a single burst through the staged pipeline.
+  sim_->SchedulePortEvent(serialization, MakeTag(this, kPortTagTxDone));
 
   // Peer sees the packet after serialization + propagation, unless the link
   // failed while the packet was in flight. Per-link arrivals are FIFO, so
   // the event needs no payload.
   in_flight_.push_back(pkt);
-  sim_->ScheduleSerialization(serialization + propagation_delay_,
-                              [this] { DeliverHeadInFlight(); });
+  sim_->SchedulePortEvent(serialization + propagation_delay_,
+                          MakeTag(this, kPortTagDeliver));
 }
 
 void Port::DeliverHeadInFlight() {
@@ -130,6 +128,74 @@ void Port::DeliverHeadInFlight() {
     return;
   }
   peer_->ReceivePacket(pkt, peer_port_);
+}
+
+void Port::GatherHeadInFlight(PacketBurst& burst) {
+  const Packet& pkt = in_flight_.front();
+  if (failed_) {
+    ++stats_.drops;
+    stats_.drop_bytes += pkt.wire_bytes;
+    TracePort(sim_, PortTrace::kDrop, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), pkt.flow_id, pkt.wire_bytes,
+              static_cast<uint64_t>(queued_data_bytes_));
+    THEMIS_LOG(LogLevel::kDebug, sim_->now(), "%s port %d: in-flight drop %s",
+               owner_->name().c_str(), index_, pkt.ToString().c_str());
+  } else {
+    burst.Append(pkt, peer_port_);
+  }
+  in_flight_.pop_front();
+}
+
+size_t Port::DispatchBurst(Simulator& sim, const uint64_t* tags, size_t n) {
+  static_assert(alignof(Port) >= kPortTagKindMask + 1,
+                "port pointers must leave the tag-kind bits free");
+  size_t i = 0;
+  while (i < n) {
+    if (sim.stop_requested()) {
+      return i;  // executive restores the tail with original (time, seq)
+    }
+    Port* port = PortFromTag(tags[i]);
+    if (TagKind(tags[i]) == kPortTagTxDone) {
+      port->StartNextTransmission();
+      ++i;
+      continue;
+    }
+    // Delivery. Hosts have a single upstream link, so per-host same-tick
+    // multi-delivery runs cannot form; keeping them scalar also guarantees
+    // Stop() fired by a host-side completion is honored before the next
+    // event (determinism vs. the scalar path).
+    Node* peer = port->peer_;
+    if (peer->kind() != NodeKind::kSwitch) {
+      port->DeliverHeadInFlight();
+      ++i;
+      continue;
+    }
+    // Extend the run over consecutive deliveries into the same switch.
+    size_t j = i + 1;
+    while (j < n && TagKind(tags[j]) == kPortTagDeliver &&
+           PortFromTag(tags[j])->peer_ == peer) {
+      ++j;
+    }
+    if (j - i == 1) {
+      port->DeliverHeadInFlight();
+      i = j;
+      continue;
+    }
+    PacketBurst& burst = peer->packet_arena()->burst_staging();
+    burst.BeginUse();
+    for (size_t k = i; k < j; ++k) {
+      if (k + 1 < j) {
+        PortFromTag(tags[k + 1])->in_flight_.PrefetchFront();
+      }
+      PortFromTag(tags[k])->GatherHeadInFlight(burst);
+    }
+    if (!burst.empty()) {
+      peer->ReceiveBurst(burst);
+    }
+    burst.EndUse();
+    i = j;
+  }
+  return n;
 }
 
 }  // namespace themis

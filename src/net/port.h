@@ -32,6 +32,14 @@ struct PortStats {
   TimePs paused_time_ps = 0;  // closed pause intervals only; see PausedTimePs()
 };
 
+// Tagged line-rate events (burst mode): a port event is fully described by
+// the port pointer plus a kind in the pointer's low alignment bits, so the
+// serialization/delivery chain schedules raw uint64 tags instead of
+// callbacks. Port::DispatchBurst decodes them.
+inline constexpr uint64_t kPortTagTxDone = 0;   // wire freed: start next transmission
+inline constexpr uint64_t kPortTagDeliver = 1;  // head of in_flight_ reaches the peer
+inline constexpr uint64_t kPortTagKindMask = 7;
+
 class Port {
  public:
   Port(Simulator* sim, Node* owner, int index)
@@ -54,7 +62,18 @@ class Port {
     rate_ = rate;
     propagation_delay_ = propagation_delay;
     data_queue_capacity_ = data_queue_capacity_bytes;
+    // Every connected port schedules tagged events; make sure the simulator
+    // can decode them (idempotent).
+    sim_->SetLineRateDispatcher(&Port::DispatchBurst);
   }
+
+  // Decodes and executes a run of tagged port events in order. Consecutive
+  // deliveries bound for the same switch are gathered into the peer arena's
+  // PacketBurst and handed to one ReceiveBurst call; everything else (tx-done
+  // chain, host deliveries, singleton runs) executes scalar. Checks
+  // sim.stop_requested() between events and returns how many completed — the
+  // executive re-queues the rest. Registered by ConnectTo.
+  static size_t DispatchBurst(Simulator& sim, const uint64_t* tags, size_t n);
 
   // Enqueues a packet for transmission. Data packets exceeding the queue
   // capacity are dropped (drop-tail); control packets are never dropped.
@@ -103,8 +122,19 @@ class Port {
   }
 
  private:
+  static uint64_t MakeTag(Port* port, uint64_t kind) {
+    return reinterpret_cast<uint64_t>(port) | kind;
+  }
+  static Port* PortFromTag(uint64_t tag) {
+    return reinterpret_cast<Port*>(tag & ~kPortTagKindMask);
+  }
+  static uint64_t TagKind(uint64_t tag) { return tag & kPortTagKindMask; }
+
   void StartNextTransmission();
   void DeliverHeadInFlight();
+  // Pops the head in-flight packet into `burst` (or drop-accounts it on a
+  // failed link, like DeliverHeadInFlight). The burst gather path.
+  void GatherHeadInFlight(PacketBurst& burst);
 
   Simulator* sim_;
   Node* owner_;

@@ -16,7 +16,7 @@
 //
 // Entries are non-cancellable (serialization/delivery chains never cancel),
 // which is what keeps the tier this simple: no nodes, no generations, no
-// tombstones — just (time, seq, callback) values moved bucket -> ready.
+// tombstones — just small (time, seq, tag, slot) keys moved bucket -> ready.
 //
 // Cursor policy: the cursor only advances while collecting. When no entry is
 // bucketed, the next insert re-anchors the cursor half a horizon behind the
@@ -24,6 +24,21 @@
 // window always brackets the traffic that is actually in flight. Events
 // beyond the horizon are rejected by Accepts() and the caller routes them to
 // the heap tier instead (overflow-to-heap).
+//
+// Tagged entries (burst mode): the port serialization/delivery chain needs no
+// callback at all — the event is fully described by a non-zero uint64 tag
+// (port pointer + event kind) that a registered dispatcher decodes. Tagged
+// entries skip callback construction/move/invoke entirely, and because they
+// are self-describing the owner can pop a whole same-tick run of them in one
+// go (PopReadyTaggedRun) and hand it to the dispatcher as a burst. tag == 0
+// means "plain callback entry".
+//
+// SoA split: buckets and the ready heap hold 32-byte POD keys
+// (time, seq, tag, callback-slot); callbacks live in a side pool indexed by
+// slot. Tagged entries (the vast majority at line rate) never touch the pool,
+// and a callback entry moves its 64-byte InlineCallback exactly twice —
+// pool-in at Schedule(), pool-out at PopReady() — instead of riding through
+// every bucket move and heap sift.
 
 #ifndef THEMIS_SRC_SIM_CALENDAR_QUEUE_H_
 #define THEMIS_SRC_SIM_CALENDAR_QUEUE_H_
@@ -87,22 +102,14 @@ class CalendarQueue {
   // Inserts an entry firing at absolute time `at`, carrying the caller's
   // queue-wide sequence number. Pre: Accepts(at).
   void Schedule(TimePs at, uint64_t seq, Callback cb) {
-    if (in_bucket_count_ == 0) {
-      // Nothing bucketed: re-anchor so `at` sits mid-horizon. Entries in the
-      // ready heap are position-independent, so moving the cursor (even
-      // backwards) is exact. Keeps the tier O(1) after idle stretches.
-      cal_time_ = std::max<TimePs>(0, AlignDown(at) - (horizon_ >> 1));
-    }
-    if (at < cal_time_) {
-      // Cursor already passed this window; the ready heap orders it exactly.
-      PushReady(Entry{at, seq, std::move(cb)});
-      return;
-    }
-    assert(at - cal_time_ < horizon_ && "caller must check Accepts()");
-    const size_t idx = BucketIndex(at);
-    buckets_[idx].push_back(Entry{at, seq, std::move(cb)});
-    SetOccupied(idx, true);
-    ++in_bucket_count_;
+    ScheduleEntry(Entry{at, seq, 0, AllocSlot(std::move(cb))});
+  }
+
+  // Tagged (callback-free) variant for the port event chain. `tag` must be
+  // non-zero; the owner's dispatcher decodes it. Pre: Accepts(at).
+  void ScheduleTagged(TimePs at, uint64_t seq, uint64_t tag) {
+    assert(tag != 0);
+    ScheduleEntry(Entry{at, seq, tag, kNoSlot});
   }
 
   // Moves every entry that could fire at or before `bound` (given what is
@@ -149,14 +156,49 @@ class CalendarQueue {
   // Pre: HasReady().
   TimePs ReadyTime() const { return ready_.front().time; }
   uint64_t ReadySeq() const { return ready_.front().seq; }
+  bool ReadyIsTagged() const { return ready_.front().tag != 0; }
 
-  // Pre: HasReady().
+  // Pre: HasReady(). Tagged entries yield an empty callback.
   Callback PopReady(TimePs* time_out) {
     std::pop_heap(ready_.begin(), ready_.end(), After{});
-    Entry e = std::move(ready_.back());
+    const Entry e = ready_.back();
     ready_.pop_back();
     *time_out = e.time;
-    return std::move(e.callback);
+    if (e.slot == kNoSlot) {
+      return Callback{};
+    }
+    Callback cb = std::move(cb_pool_[e.slot]);
+    free_slots_.push_back(e.slot);
+    return cb;
+  }
+
+  // Drains the maximal run of ready *tagged* entries firing exactly at `t`
+  // with seq strictly below `seq_bound` into `tags`/`seqs` (parallel arrays,
+  // capacity `max_n`). Stops at the first plain-callback entry, tick change,
+  // or bound crossing, so the run is exactly the events a scalar pop loop
+  // would fire consecutively. Returns the run length.
+  size_t PopReadyTaggedRun(TimePs t, uint64_t seq_bound, uint64_t* tags, uint64_t* seqs,
+                           size_t max_n) {
+    size_t n = 0;
+    while (n < max_n && !ready_.empty()) {
+      const Entry& front = ready_.front();
+      if (front.time != t || front.seq >= seq_bound || front.tag == 0) {
+        break;
+      }
+      std::pop_heap(ready_.begin(), ready_.end(), After{});
+      tags[n] = ready_.back().tag;
+      seqs[n] = ready_.back().seq;
+      ready_.pop_back();
+      ++n;
+    }
+    return n;
+  }
+
+  // Puts a popped-but-not-dispatched tagged entry back, keeping its original
+  // (time, seq) so a later pop replays the exact scalar order. Used when
+  // Stop() lands mid-burst.
+  void RestoreReady(TimePs t, uint64_t seq, uint64_t tag) {
+    PushReady(Entry{t, seq, tag, kNoSlot});
   }
 
   size_t pending() const { return in_bucket_count_ + ready_.size(); }
@@ -167,16 +209,52 @@ class CalendarQueue {
     }
     std::fill(occupancy_.begin(), occupancy_.end(), 0);
     ready_.clear();
+    cb_pool_.clear();
+    free_slots_.clear();
     in_bucket_count_ = 0;
     cal_time_ = 0;
   }
 
  private:
+  static constexpr uint32_t kNoSlot = ~uint32_t{0};
+
+  // 32-byte POD key: this is what buckets store and the ready heap sifts.
   struct Entry {
     TimePs time;
     uint64_t seq;
-    Callback callback;
+    uint64_t tag;   // non-zero: dispatcher-decoded port event (no callback)
+    uint32_t slot;  // cb_pool_ index, kNoSlot for tagged entries
   };
+
+  uint32_t AllocSlot(Callback cb) {
+    if (!free_slots_.empty()) {
+      const uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      cb_pool_[slot] = std::move(cb);
+      return slot;
+    }
+    cb_pool_.push_back(std::move(cb));
+    return static_cast<uint32_t>(cb_pool_.size() - 1);
+  }
+
+  void ScheduleEntry(Entry e) {
+    if (in_bucket_count_ == 0) {
+      // Nothing bucketed: re-anchor so the entry sits mid-horizon. Entries in
+      // the ready heap are position-independent, so moving the cursor (even
+      // backwards) is exact. Keeps the tier O(1) after idle stretches.
+      cal_time_ = std::max<TimePs>(0, AlignDown(e.time) - (horizon_ >> 1));
+    }
+    if (e.time < cal_time_) {
+      // Cursor already passed this window; the ready heap orders it exactly.
+      PushReady(std::move(e));
+      return;
+    }
+    assert(e.time - cal_time_ < horizon_ && "caller must check Accepts()");
+    const size_t idx = BucketIndex(e.time);
+    buckets_[idx].push_back(std::move(e));
+    SetOccupied(idx, true);
+    ++in_bucket_count_;
+  }
 
   // Max-comparator for std::push_heap/pop_heap (min-heap by (time, seq)).
   struct After {
@@ -256,6 +334,8 @@ class CalendarQueue {
   std::vector<std::vector<Entry>> buckets_;
   std::vector<uint64_t> occupancy_;  // one bit per bucket, for slot skipping
   std::vector<Entry> ready_;         // min-heap by (time, seq)
+  std::vector<Callback> cb_pool_;    // callback side pool, indexed by Entry::slot
+  std::vector<uint32_t> free_slots_;  // recycled cb_pool_ indices
 };
 
 }  // namespace themis

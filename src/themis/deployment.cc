@@ -28,13 +28,11 @@ std::unique_ptr<ThemisDeployment> ThemisDeployment::Install(
     return src->second != dst->second;
   };
 
-  for (Switch* tor : topo.tors) {
-    auto hook = std::make_unique<ThemisD>(deployment->config_.themis_d, is_cross_rack);
-    tor->AddHook(hook.get());
-    deployment->d_hooks_.push_back(std::move(hook));
-    deployment->d_tor_names_.push_back(tor->name());
-  }
-
+  // Themis-S registers ahead of Themis-D. Observably equivalent either way —
+  // on any one packet at most one of the two acts (S: non-last-hop data from
+  // a local host; D: last-hop data and host-emitted control) — but with S
+  // first the ToR's burst pipeline can run the sport rewrite as a whole-burst
+  // stage prefix and pre-stage LB selection (see Switch::ReceiveBurst).
   if (config.spray_mode == SprayMode::kSportRewrite) {
     std::vector<EcmpStage> stages = config.ecmp_stages;
     if (stages.empty()) {
@@ -48,6 +46,13 @@ std::unique_ptr<ThemisDeployment> ThemisDeployment::Install(
       tor->AddHook(hook.get());
       deployment->s_hooks_.push_back(std::move(hook));
     }
+  }
+
+  for (Switch* tor : topo.tors) {
+    auto hook = std::make_unique<ThemisD>(deployment->config_.themis_d, is_cross_rack);
+    tor->AddHook(hook.get());
+    deployment->d_hooks_.push_back(std::move(hook));
+    deployment->d_tor_names_.push_back(tor->name());
   }
 
   deployment->ApplySprayPolicy();

@@ -145,18 +145,35 @@ ThemisD::FlowTelemetry& ThemisD::TelemetryFor(uint32_t flow_id) {
 }
 
 bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
-  auto [it, inserted] = flows_.try_emplace(pkt.flow_id, config_);
-  if (inserted) {
-    // Models the connection-setup handshake interception that provisions
-    // the per-QP ring queue and flow-table entry.
-    ++stats_.flows_created;
-    TraceThemis(sw.sim(), ThemisTrace::kFlowCreate, static_cast<uint16_t>(sw.id()),
-                pkt.flow_id);
-    if (counter_registry_ != nullptr) {
-      TelemetryFor(pkt.flow_id);  // provision the per-flow counter columns
+  FlowEntry* cached = cached_entry_;
+  if (cached == nullptr || cached_flow_id_ != pkt.flow_id) {
+    auto [it, inserted] = flows_.try_emplace(pkt.flow_id, config_);
+    if (inserted) {
+      // Models the connection-setup handshake interception that provisions
+      // the per-QP ring queue and flow-table entry.
+      ++stats_.flows_created;
+      TraceThemis(sw.sim(), ThemisTrace::kFlowCreate, static_cast<uint16_t>(sw.id()),
+                  pkt.flow_id);
+      if (counter_registry_ != nullptr) {
+        TelemetryFor(pkt.flow_id);  // provision the per-flow counter columns
+      }
     }
+    cached = &it->second;
+    cached_flow_id_ = pkt.flow_id;
+    cached_entry_ = cached;
   }
-  FlowEntry& entry = it->second;
+  FlowEntry& entry = *cached;
+
+  // Fast path: no audit, grace, or compensation armed — the packet only
+  // needs its PSN pushed (the common case, and the whole burst's data run
+  // when nothing is in flight with the validator).
+  if (!entry.valid_pending && !entry.grace_pending && !entry.valid) {
+    entry.queue.Push(pkt.psn, sw.sim()->now());
+    ++stats_.data_tracked;
+    TraceThemis(sw.sim(), ThemisTrace::kRingPush, static_cast<uint16_t>(sw.id()),
+                pkt.flow_id, pkt.psn, entry.queue.size());
+    return true;
+  }
 
   // Verdict audit: the ePSN of a valid-forwarded NACK arriving as an
   // *original* transmission proves the packet was delayed (e.g. behind a PFC

@@ -94,13 +94,23 @@ class ThemisD : public SwitchHook {
 
   bool OnIngress(Switch& sw, Packet& pkt, int in_port) override;
 
+  // Must run per packet at its registered position (it schedules events via
+  // compensated-NACK Forwards, whose seq allocation order the goldens pin
+  // down), but never mutates packets, consumes only control packets, and
+  // never fails ports or edits routes — so pre-staged egress choices for the
+  // burst's data packets stay valid.
+  IngressBurstClass burst_class() const override { return IngressBurstClass::kPerPacket; }
+
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
   // Drops all per-flow state (ring queues, BePSN/Valid, ACK trackers).
   // Called when Themis re-engages after an ECMP fallback period: PSNs
   // recorded under a different routing mode would misidentify tPSNs.
-  void ResetFlowState() { flows_.clear(); }
+  void ResetFlowState() {
+    flows_.clear();
+    cached_entry_ = nullptr;
+  }
 
   const ThemisDConfig& config() const { return config_; }
   const ThemisDStats& stats() const { return stats_; }
@@ -173,6 +183,12 @@ class ThemisD : public SwitchHook {
   ThemisDConfig config_;
   std::function<bool(const Packet&)> is_cross_rack_;
   bool enabled_ = true;
+  // Last-flow cache for the data hot path: same-tick bursts are dominated by
+  // runs of packets from few flows, and unordered_map references stay valid
+  // across inserts, so one compare replaces the hash lookup for run-mates.
+  // Invalidated by ResetFlowState (the only place entries are removed).
+  uint32_t cached_flow_id_ = 0;
+  FlowEntry* cached_entry_ = nullptr;
   std::unordered_map<uint32_t, FlowEntry> flows_;
   std::unordered_map<uint32_t, FlowTelemetry> flow_telemetry_;
   ThemisDStats stats_;

@@ -4,6 +4,15 @@
 
 namespace themis {
 
+void SwitchHook::OnIngressBurst(Switch& sw, PacketBurst& burst) {
+  const size_t n = burst.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!burst.consumed(i) && !OnIngress(sw, burst.packet(i), burst.in_port(i))) {
+      burst.Consume(i);
+    }
+  }
+}
+
 void Switch::ReceivePacket(const Packet& pkt, int in_port) {
   Packet mutable_pkt = pkt;
   // Re-home the buffer attribution to this switch's ingress.
@@ -51,6 +60,10 @@ void Switch::Forward(const Packet& pkt) {
                 .rng = &sim()->rng()};
   LoadBalancer* lb = pkt.IsControl() ? &control_lb_ : data_lb_.get();
   const size_t choice = lb->Select(pkt, candidates, ctx);
+  SendResolved(pkt, candidates[choice]);
+}
+
+void Switch::SendResolved(const Packet& pkt, Port* egress) {
   ++stats_.forwarded;
   // Charge shared-buffer credit BEFORE handing to the egress: an idle port
   // transmits synchronously, and the dequeue callback releases the credit.
@@ -58,9 +71,165 @@ void Switch::Forward(const Packet& pkt) {
   if (track) {
     ChargeIngress(pkt.sim_ingress, pkt.wire_bytes);
   }
-  const bool accepted = candidates[choice]->Send(pkt);
+  const bool accepted = egress->Send(pkt);
   if (track && !accepted) {
     ReleaseIngress(pkt.sim_ingress, pkt.wire_bytes);
+  }
+}
+
+void Switch::RefreshHookClasses() {
+  hook_stage_prefix_ = 0;
+  any_generic_hook_ = false;
+  tail_all_per_packet_ = true;
+  bool in_prefix = true;
+  for (SwitchHook* hook : hooks_) {
+    const SwitchHook::IngressBurstClass cls = hook->burst_class();
+    if (cls == SwitchHook::IngressBurstClass::kGeneric) {
+      any_generic_hook_ = true;
+    }
+    if (in_prefix && cls == SwitchHook::IngressBurstClass::kStageable) {
+      ++hook_stage_prefix_;
+    } else {
+      in_prefix = false;
+      // A stageable (i.e. packet-mutating rewrite) hook stranded in the tail
+      // still runs per packet — but it may rewrite LB-relevant fields after
+      // StageEgress consumed them, so it forbids LB staging just like a
+      // generic hook would.
+      if (cls != SwitchHook::IngressBurstClass::kPerPacket) {
+        tail_all_per_packet_ = false;
+      }
+    }
+  }
+}
+
+void Switch::StageEgress(PacketBurst& burst, const LbContext& ctx) {
+  const size_t n = burst.size();
+  burst.egress.assign(n, nullptr);
+  burst.lb_idx.clear();
+  burst.lb_cands.clear();
+  burst.live_pool.clear();
+  // Reserve the worst case up front: spans handed to SelectBurst point into
+  // live_pool, so it must never reallocate mid-stage.
+  size_t pool_cap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto dst = static_cast<size_t>(burst.packet(i).dst_host);
+    if (!burst.consumed(i) && dst < routes_.size()) {
+      pool_cap += routes_[dst].size();
+    }
+  }
+  burst.live_pool.reserve(pool_cap);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (burst.consumed(i)) {
+      continue;
+    }
+    Packet& pkt = burst.packet(i);
+    const auto dst = static_cast<size_t>(pkt.dst_host);
+    if (dst >= routes_.size() || routes_[dst].empty()) {
+      continue;  // egress stays null → counted as a no-route drop in order
+    }
+    const std::vector<Port*>& all = routes_[dst];
+    std::span<Port* const> candidates(all.data(), all.size());
+    bool any_failed = false;
+    for (Port* port : all) {
+      any_failed = any_failed || port->failed();
+    }
+    if (any_failed) {
+      // Hooks audited for burst mode never fail ports, so the filtered set
+      // is valid for the whole burst.
+      const size_t start = burst.live_pool.size();
+      for (Port* port : all) {
+        if (!port->failed()) {
+          burst.live_pool.push_back(port);
+        }
+      }
+      if (burst.live_pool.size() == start) {
+        continue;  // all candidates failed → null egress, no-route drop
+      }
+      candidates = std::span<Port* const>(burst.live_pool.data() + start,
+                                          burst.live_pool.size() - start);
+    }
+    if (burst.is_control(i)) {
+      // Control traffic always follows plain ECMP: pick inline, devirtualized.
+      burst.egress[i] = candidates[EcmpLb::Pick(pkt, candidates.size(), ctx)];
+    } else {
+      burst.lb_idx.push_back(static_cast<uint32_t>(i));
+      burst.lb_cands.push_back(candidates);
+    }
+  }
+
+  const size_t staged = burst.lb_idx.size();
+  if (staged > 0) {
+    burst.lb_choice.resize(staged);
+    data_lb_->SelectBurst(burst, burst.lb_idx.data(), burst.lb_cands.data(), staged,
+                          ctx, burst.lb_choice.data());
+    for (size_t k = 0; k < staged; ++k) {
+      burst.egress[burst.lb_idx[k]] = burst.lb_cands[k][burst.lb_choice[k]];
+    }
+  }
+}
+
+void Switch::ReceiveBurst(PacketBurst& burst) {
+  // Any unaudited hook → replay the exact scalar path for the whole burst.
+  if (any_generic_hook_) {
+    Node::ReceiveBurst(burst);
+    return;
+  }
+  const size_t n = burst.size();
+  // Re-home buffer attribution once for the whole burst (scalar does this
+  // per packet before the hooks run).
+  for (size_t i = 0; i < n; ++i) {
+    burst.packet(i).sim_ingress = burst.in_port(i);
+  }
+  // Stage 1: the stageable hook prefix runs as whole-burst column loops.
+  // Legal because stageable hooks are pure per-packet rewrites — hoisting
+  // hook(h, pkt_i) ahead of hook(h', pkt_j) for a later h' changes nothing
+  // any packet observes.
+  for (size_t h = 0; h < hook_stage_prefix_; ++h) {
+    hooks_[h]->OnIngressBurst(*this, burst);
+  }
+  // Stage 2: pre-select egress ports when the data policy is a pure function
+  // of the (post-prefix) packet AND every tail hook is kPerPacket — audited
+  // to never invalidate these choices.
+  const bool staged_lb = tail_all_per_packet_ && data_lb_->burst_stageable();
+  LbContext ctx{.switch_salt = ecmp_salt_,
+                .hash_shift = hash_shift_,
+                .now = sim()->now(),
+                .rng = &sim()->rng()};
+  if (staged_lb) {
+    StageEgress(burst, ctx);
+  }
+  // Stage 3: fused per-packet loop — tail hooks at their registered position,
+  // then PFC charge + send, in strict packet order (RNG draws and event-seq
+  // allocations happen here, exactly as the scalar path interleaves them).
+  for (size_t i = 0; i < n; ++i) {
+    if (burst.consumed(i)) {
+      ++stats_.consumed_by_hook;
+      continue;
+    }
+    burst.PrefetchPacket(i + 1);
+    Packet& pkt = burst.packet(i);
+    bool consumed = false;
+    for (size_t h = hook_stage_prefix_; h < hooks_.size(); ++h) {
+      if (!hooks_[h]->OnIngress(*this, pkt, burst.in_port(i))) {
+        consumed = true;
+        break;
+      }
+    }
+    if (consumed) {
+      ++stats_.consumed_by_hook;
+      continue;
+    }
+    if (staged_lb) {
+      Port* egress = burst.egress[i];
+      if (egress == nullptr) {
+        ++stats_.no_route_drops;
+        continue;
+      }
+      SendResolved(pkt, egress);
+    } else {
+      Forward(pkt);
+    }
   }
 }
 

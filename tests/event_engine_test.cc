@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -598,6 +599,138 @@ TEST(RunUntilTest, AdvancesClockToDeadlineOnEarlyExit) {
   sim.Run();
   EXPECT_EQ(sim.now(), 15'000);
   EXPECT_EQ(fired, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Burst drain-loop property tests. A recording dispatcher logs every tagged
+// event it executes as (fire time, tag); the burst path (same-tick runs
+// handed over as flat arrays) must replay the scalar reference — burst mode
+// off, one tagged event per dispatch — bit-exactly, under randomized tick
+// collisions, run-breaking callbacks, same-tick heap bounds, and
+// overflow-to-heap tagged entries.
+
+struct BurstLog {
+  std::vector<std::pair<TimePs, uint64_t>> events;  // tag 0 = plain callback
+  size_t dispatches = 0;
+};
+
+BurstLog* g_burst_log = nullptr;
+uint64_t g_stop_tag = 0;  // StoppingDispatcher raises Stop() after this tag
+
+size_t RecordingDispatcher(Simulator& sim, const uint64_t* tags, size_t n) {
+  ++g_burst_log->dispatches;
+  for (size_t i = 0; i < n; ++i) {
+    g_burst_log->events.emplace_back(sim.now(), tags[i]);
+  }
+  return n;
+}
+
+size_t StoppingDispatcher(Simulator& sim, const uint64_t* tags, size_t n) {
+  ++g_burst_log->dispatches;
+  for (size_t i = 0; i < n; ++i) {
+    if (sim.stop_requested()) {
+      return i;  // undispatched tail goes back to the queue
+    }
+    g_burst_log->events.emplace_back(sim.now(), tags[i]);
+    if (tags[i] == g_stop_tag) {
+      sim.Stop();
+    }
+  }
+  return n;
+}
+
+// Self-rescheduling volley generator: each firing packs several tagged events
+// onto few distinct ticks (collisions on purpose), sometimes adds a
+// run-breaking plain callback or a same-tick heap event, and occasionally
+// throws a tagged event beyond the calendar horizon (heap-wrapper path).
+struct BurstStorm {
+  Simulator* sim = nullptr;
+  Rng* rng = nullptr;
+  int volleys = 0;
+  uint64_t next_tag = 8;  // non-zero, distinct per event
+
+  void LogCallback() { g_burst_log->events.emplace_back(sim->now(), 0); }
+
+  void Fire() {
+    if (volleys-- <= 0) {
+      return;
+    }
+    const int m = 1 + static_cast<int>(rng->Below(6));
+    for (int i = 0; i < m; ++i) {
+      sim->SchedulePortEvent(static_cast<TimePs>(rng->Below(4)) * 32, next_tag);
+      next_tag += 8;
+    }
+    switch (rng->Below(4)) {
+      case 0:  // plain line-rate callback: breaks any tagged run on its tick
+        sim->ScheduleSerialization(static_cast<TimePs>(rng->Below(4)) * 32,
+                                   [this] { LogCallback(); });
+        break;
+      case 1:  // same-tick heap event: bounds the run by its sequence number
+        sim->ScheduleInline(static_cast<TimePs>(rng->Below(4)) * 32,
+                            [this] { LogCallback(); });
+        break;
+      case 2:  // far beyond the 1024 ps horizon: tagged overflow rides the heap
+        sim->SchedulePortEvent(50'000 + static_cast<TimePs>(rng->Below(1'000)), next_tag);
+        next_tag += 8;
+        break;
+      default:
+        break;
+    }
+    sim->ScheduleInline(32 + static_cast<TimePs>(rng->Below(200)), [this] { Fire(); });
+  }
+};
+
+TEST(BurstDispatchTest, MatchesScalarReferenceUnderRandomTickCollisions) {
+  size_t scalar_dispatches = 0;
+  size_t burst_dispatches = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    BurstLog logs[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      Simulator sim(seed);
+      ASSERT_TRUE(sim.ConfigureCalendar(6, 16));  // 64 ps buckets, 1024 ps horizon
+      sim.set_burst_enabled(mode == 1);
+      sim.SetLineRateDispatcher(&RecordingDispatcher);
+      g_burst_log = &logs[mode];
+      Rng rng(seed * 1'000 + 7);
+      BurstStorm storm{&sim, &rng, 120, 8};
+      sim.ScheduleInline(0, [&storm] { storm.Fire(); });
+      sim.RunUntil(kTimeInfinity);
+      g_burst_log = nullptr;
+    }
+    ASSERT_FALSE(logs[0].events.empty());
+    EXPECT_EQ(logs[0].events, logs[1].events) << "burst order diverged, seed " << seed;
+    // Grouping only ever merges dispatches, never splits them.
+    EXPECT_LE(logs[1].dispatches, logs[0].dispatches) << "seed " << seed;
+    scalar_dispatches += logs[0].dispatches;
+    burst_dispatches += logs[1].dispatches;
+  }
+  // The collision-heavy schedule must actually have formed multi-event runs.
+  EXPECT_LT(burst_dispatches, scalar_dispatches);
+}
+
+TEST(BurstDispatchTest, StopMidBurstRestoresUndispatchedTail) {
+  Simulator sim(1);
+  ASSERT_TRUE(sim.ConfigureCalendar(6, 16));
+  sim.set_burst_enabled(true);
+  sim.SetLineRateDispatcher(&StoppingDispatcher);
+  BurstLog log;
+  g_burst_log = &log;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    sim.SchedulePortEvent(64, i * 8);  // one same-tick run of six
+  }
+  g_stop_tag = 3 * 8;  // Stop() lands mid-burst, after the third event
+  sim.RunUntil(kTimeInfinity);
+  EXPECT_EQ(log.events.size(), 3u);
+  EXPECT_EQ(sim.now(), 64);  // Stop() keeps the clock at the stopping event
+  // The tail was restored with its original (time, seq): resuming replays
+  // the remaining three in the exact scalar order.
+  g_stop_tag = 0;
+  sim.RunUntil(kTimeInfinity);
+  ASSERT_EQ(log.events.size(), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(log.events[i], (std::pair<TimePs, uint64_t>(64, (i + 1) * 8)));
+  }
+  g_burst_log = nullptr;
 }
 
 }  // namespace
