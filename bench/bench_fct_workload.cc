@@ -32,6 +32,10 @@ struct FctScheme {
   SprayMode spray;
   bool pfc;
   bool grace;
+  // > 0: attach the fluid background model at this offered load — the hybrid
+  // ablation row, showing each scheme's FCT under modelled exogenous
+  // pressure without paying for packet-level background flows.
+  double background_load = 0.0;
 };
 
 // The bench's comparison set. Spray mode only matters under kThemis. The
@@ -49,6 +53,8 @@ constexpr FctScheme kFctSchemes[] = {
     {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress, true, true},
     {"Themis-D/noGrace", Scheme::kThemis, SprayMode::kTorEgress, true, false},
     {"Themis-D/noPFC", Scheme::kThemis, SprayMode::kTorEgress, false, true},
+    {"ECMP/hybridBg", Scheme::kEcmp, SprayMode::kTorEgress, true, true, 0.4},
+    {"Themis-D/hybridBg", Scheme::kThemis, SprayMode::kTorEgress, true, true, 0.4},
 };
 
 struct FctCase {
@@ -82,6 +88,10 @@ ExperimentConfig FctFabric(const FctScheme& scheme, bool smoke) {
   config.themis_spray_mode = scheme.spray;
   config.pfc_enabled = scheme.pfc;
   config.themis_pause_grace = scheme.grace;
+  if (scheme.background_load > 0.0) {
+    config.traffic_model = TrafficModelKind::kFluid;
+    config.background_load = scheme.background_load;
+  }
   return config;
 }
 

@@ -32,10 +32,16 @@ struct CliOptions {
   int64_t window_us = 1000;
   int fanin = 8;
   double incast_fraction = 0.5;
+  FabricKind topo = FabricKind::kLeafSpine;
+  int fat_tree_k = 8;
   int tors = 4;
   int spines = 4;
   int hosts_per_tor = 4;
   int64_t rate_gbps = 100;
+  TrafficModelKind traffic_model = TrafficModelKind::kNone;
+  double background_load = 0.0;
+  double traffic_burstiness = 0.25;
+  int64_t traffic_epoch_us = 5;
   uint64_t seed = 1;
   uint64_t max_flows = 0;
   bool pfc = true;
@@ -57,8 +63,14 @@ struct CliOptions {
       "  --window-us=N        arrival window (default 1000)\n"
       "  --fanin=N            incast fan-in (default 8)\n"
       "  --incast-fraction=F  incastmix: share of load carried by bursts (default 0.5)\n"
-      "  --tors=N --spines=N --hosts-per-tor=N    fabric shape (default 4x4x4)\n"
+      "  --topo=leafspine|fattree  fabric kind (default leafspine)\n"
+      "  --fat-tree-k=N       fat-tree arity (even; 8 -> 128 hosts, 16 -> 1024 hosts)\n"
+      "  --tors=N --spines=N --hosts-per-tor=N    leaf-spine shape (default 4x4x4)\n"
       "  --rate-gbps=N        link speed (default 100)\n"
+      "  --traffic-model=none|fluid  hybrid background model (default none)\n"
+      "  --background-load=F  modelled background load per fabric port (default 0)\n"
+      "  --traffic-burstiness=F  AR(1) modulation amplitude (default 0.25)\n"
+      "  --traffic-epoch-us=N    background epoch period (default 5)\n"
       "  --seed=N             RNG seed (default 1)\n"
       "  --max-flows=N        truncate the generated flow list (default: no cap)\n"
       "  --no-pfc             disable priority flow control\n"
@@ -146,6 +158,32 @@ CliOptions Parse(int argc, char** argv) {
       opts.fanin = std::atoi(value.c_str());
     } else if (ParseValue(arg, "--incast-fraction", &value)) {
       opts.incast_fraction = std::strtod(value.c_str(), nullptr);
+    } else if (ParseValue(arg, "--topo", &value)) {
+      if (value == "leafspine" || value == "leaf-spine") {
+        opts.topo = FabricKind::kLeafSpine;
+      } else if (value == "fattree" || value == "fat-tree") {
+        opts.topo = FabricKind::kFatTree;
+      } else {
+        std::fprintf(stderr, "unknown topology '%s'\n", value.c_str());
+        Usage(1);
+      }
+    } else if (ParseValue(arg, "--fat-tree-k", &value)) {
+      opts.fat_tree_k = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--traffic-model", &value)) {
+      if (value == "none") {
+        opts.traffic_model = TrafficModelKind::kNone;
+      } else if (value == "fluid") {
+        opts.traffic_model = TrafficModelKind::kFluid;
+      } else {
+        std::fprintf(stderr, "unknown traffic model '%s'\n", value.c_str());
+        Usage(1);
+      }
+    } else if (ParseValue(arg, "--background-load", &value)) {
+      opts.background_load = std::strtod(value.c_str(), nullptr);
+    } else if (ParseValue(arg, "--traffic-burstiness", &value)) {
+      opts.traffic_burstiness = std::strtod(value.c_str(), nullptr);
+    } else if (ParseValue(arg, "--traffic-epoch-us", &value)) {
+      opts.traffic_epoch_us = std::atoll(value.c_str());
     } else if (ParseValue(arg, "--tors", &value)) {
       opts.tors = std::atoi(value.c_str());
     } else if (ParseValue(arg, "--spines", &value)) {
@@ -172,6 +210,14 @@ CliOptions Parse(int argc, char** argv) {
   if (opts.load <= 0.0 || opts.load >= 1.5) {
     std::fprintf(stderr, "--load must be in (0, 1.5)\n");
     Usage(1);
+  }
+  if (opts.topo == FabricKind::kFatTree &&
+      (opts.fat_tree_k < 2 || opts.fat_tree_k % 2 != 0)) {
+    std::fprintf(stderr, "--fat-tree-k must be even and >= 2\n");
+    Usage(1);
+  }
+  if (opts.background_load > 0.0 && opts.traffic_model == TrafficModelKind::kNone) {
+    opts.traffic_model = TrafficModelKind::kFluid;  // load implies the model
   }
   return opts;
 }
@@ -205,6 +251,8 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.seed = opts.seed;
+  config.fabric = opts.topo;
+  config.fat_tree_k = opts.fat_tree_k;
   config.num_tors = opts.tors;
   config.num_spines = opts.spines;
   config.hosts_per_tor = opts.hosts_per_tor;
@@ -214,6 +262,10 @@ int main(int argc, char** argv) {
   config.pfc_enabled = opts.pfc;
   config.themis_compensation = opts.compensation;
   config.themis_pause_grace = opts.grace;
+  config.traffic_model = opts.traffic_model;
+  config.background_load = opts.background_load;
+  config.traffic_burstiness = opts.traffic_burstiness;
+  config.traffic_epoch = opts.traffic_epoch_us * kMicrosecond;
 
   WorkloadSpec workload;
   workload.pattern = opts.pattern;
@@ -231,12 +283,28 @@ int main(int argc, char** argv) {
   telemetry.counters_path = opts.counters_path;
   const FctWorkloadResult result = RunFctWorkload(config, workload, *cdf, deadline, telemetry);
 
-  std::printf("pattern=%s cdf=%s (mean %.0f B) load=%.2f scheme=%s fabric=%dx%dx%d "
-              "rate=%lldG window=%lldus seed=%llu\n",
-              TrafficPatternName(opts.pattern), cdf->name().c_str(), cdf->MeanBytes(),
-              opts.load, SchemeName(opts.scheme), opts.tors, opts.spines, opts.hosts_per_tor,
-              static_cast<long long>(opts.rate_gbps), static_cast<long long>(opts.window_us),
-              static_cast<unsigned long long>(opts.seed));
+  if (opts.topo == FabricKind::kFatTree) {
+    std::printf("pattern=%s cdf=%s (mean %.0f B) load=%.2f scheme=%s fabric=fat-tree(k=%d) "
+                "rate=%lldG window=%lldus seed=%llu\n",
+                TrafficPatternName(opts.pattern), cdf->name().c_str(), cdf->MeanBytes(),
+                opts.load, SchemeName(opts.scheme), opts.fat_tree_k,
+                static_cast<long long>(opts.rate_gbps),
+                static_cast<long long>(opts.window_us),
+                static_cast<unsigned long long>(opts.seed));
+  } else {
+    std::printf("pattern=%s cdf=%s (mean %.0f B) load=%.2f scheme=%s fabric=%dx%dx%d "
+                "rate=%lldG window=%lldus seed=%llu\n",
+                TrafficPatternName(opts.pattern), cdf->name().c_str(), cdf->MeanBytes(),
+                opts.load, SchemeName(opts.scheme), opts.tors, opts.spines,
+                opts.hosts_per_tor, static_cast<long long>(opts.rate_gbps),
+                static_cast<long long>(opts.window_us),
+                static_cast<unsigned long long>(opts.seed));
+  }
+  if (opts.traffic_model != TrafficModelKind::kNone) {
+    std::printf("background:         %s model, load %.2f, burstiness %.2f, epoch %lld us\n",
+                TrafficModelKindName(opts.traffic_model), opts.background_load,
+                opts.traffic_burstiness, static_cast<long long>(opts.traffic_epoch_us));
+  }
   std::printf("flows:              %zu generated, %zu completed\n", result.flows_total,
               result.flows_completed);
   if (result.flows_completed == 0) {

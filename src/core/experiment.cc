@@ -2,17 +2,32 @@
 
 #include <cassert>
 
+#include "src/traffic/fluid_model.h"
+
 namespace themis {
 
 Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(config.seed) {
   network_ = std::make_unique<Network>(&sim_);
 
+  // Fat-tree: normalize the leaf-spine triple from the arity so every
+  // ordinal-based helper (HostTorIndex, load units, group builders) keeps
+  // working. A k-ary fat-tree has k^2/2 edge switches with k/2 hosts each,
+  // and k/2 uplinks per edge switch (num_spines doubles as "ToR uplink
+  // count" below: port-queue split and Themis path count).
+  if (config_.fabric == FabricKind::kFatTree) {
+    assert(config.fat_tree_k >= 2 && config.fat_tree_k % 2 == 0);
+    const int half = config.fat_tree_k / 2;
+    config_.hosts_per_tor = half;
+    config_.num_tors = config.fat_tree_k * half;
+    config_.num_spines = half;
+  }
+
   // Per-port queue: explicit override, or the switch's shared buffer split
   // across its ports (a ToR has hosts_per_tor + num_spines ports).
   int64_t port_queue = config.port_queue_bytes;
   if (port_queue == 0) {
-    port_queue =
-        config.switch_buffer_bytes / (config.hosts_per_tor + config.num_spines);
+    port_queue = config.switch_buffer_bytes /
+                 (config_.hosts_per_tor + config_.num_spines);
   }
   config_.port_queue_bytes = port_queue;
 
@@ -26,22 +41,32 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
         400 * 1024 * config.link_rate.bps() / Rate::Gbps(400).bps(), 16 * 1500);
   }
 
-  LeafSpineConfig topo_config;
-  topo_config.num_tors = config.num_tors;
-  topo_config.num_spines = config.num_spines;
-  topo_config.hosts_per_tor = config.hosts_per_tor;
-  topo_config.host_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
-  topo_config.fabric_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
-  topo_config.spine_delay_skew = config.fabric_delay_skew;
-  topo_config.ecn = config_.ecn;
-
-  topology_ = BuildLeafSpine(*network_, topo_config, [this](Network& net, int ordinal,
-                                                            const std::string& name) {
+  const HostFactory make_host = [this](Network& net, int ordinal, const std::string& name) {
     (void)ordinal;
     RnicHost* host = net.MakeNode<RnicHost>(name);
     hosts_.push_back(host);
     return host;
-  });
+  };
+
+  if (config_.fabric == FabricKind::kFatTree) {
+    FatTreeConfig topo_config;
+    topo_config.k = config.fat_tree_k;
+    topo_config.host_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
+    topo_config.fabric_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
+    topo_config.core_delay_skew = config.fabric_delay_skew;
+    topo_config.ecn = config_.ecn;
+    topology_ = BuildFatTree(*network_, topo_config, make_host);
+  } else {
+    LeafSpineConfig topo_config;
+    topo_config.num_tors = config.num_tors;
+    topo_config.num_spines = config.num_spines;
+    topo_config.hosts_per_tor = config.hosts_per_tor;
+    topo_config.host_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
+    topo_config.fabric_link = LinkSpec{config.link_rate, config.link_delay, port_queue};
+    topo_config.spine_delay_skew = config.fabric_delay_skew;
+    topo_config.ecn = config_.ecn;
+    topology_ = BuildLeafSpine(*network_, topo_config, make_host);
+  }
 
   // PFC: lossless data class, thresholds scaled with link speed.
   PfcConfig pfc;
@@ -102,7 +127,21 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
     case Scheme::kThemis: {
       ThemisDeploymentConfig themis_config;
       themis_config.spray_mode = config.themis_spray_mode;
-      themis_config.themis_d.num_paths = static_cast<uint32_t>(config.num_spines);
+      // Eq. 1's N: ToR-egress spraying spreads over the ToR's uplinks;
+      // sport rewriting spreads over the full equal-cost path set (for
+      // leaf-spine the two coincide at num_spines).
+      themis_config.themis_d.num_paths = static_cast<uint32_t>(
+          config.themis_spray_mode == SprayMode::kSportRewrite
+              ? topology_.equal_cost_paths
+              : config_.num_spines);
+      if (config_.fabric == FabricKind::kFatTree &&
+          config.themis_spray_mode == SprayMode::kSportRewrite) {
+        // Two decorrelated ECMP stages: edge->agg consults hash bits [0, ..)
+        // and agg->core bits [8, ..) (matches the builder's hash_shift).
+        const uint32_t half = static_cast<uint32_t>(config.fat_tree_k / 2);
+        themis_config.ecmp_stages = {EcmpStage{.shift = 0, .group_size = half},
+                                     EcmpStage{.shift = 8, .group_size = half}};
+      }
       themis_config.themis_d.compensation_enabled = config.themis_compensation;
       themis_config.themis_d.truncate_entries = config.themis_truncate_queue_entries;
       // Last-hop RTT: two propagation delays plus one MTU serialization on
@@ -145,6 +184,46 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
   qp_config_.fixed_rate = config.fixed_rate.IsZero() ? config.link_rate : config.fixed_rate;
 
   connections_ = std::make_unique<ConnectionManager>(hosts_, qp_config_);
+
+  // Hybrid background engine from config. kNone schedules nothing — the
+  // existing determinism goldens hold by construction. Trace-calibrated
+  // models (kTrace) carry data and attach via AttachTrafficModel().
+  if (config_.traffic_model == TrafficModelKind::kFluid) {
+    FluidModelConfig fluid;
+    fluid.load = config_.background_load;
+    fluid.burstiness = config_.traffic_burstiness;
+    fluid.seed = config_.seed;
+    AttachTrafficModel(std::make_unique<FluidTrafficModel>(fluid), config_.traffic_epoch);
+  }
+}
+
+std::vector<Port*> Experiment::FabricPorts() const {
+  return SwitchEgressPorts(topology_.switches);
+}
+
+void Experiment::AttachTrafficModel(std::unique_ptr<TrafficModel> model,
+                                    TimePs epoch_period) {
+  if (epoch_period <= 0) {
+    epoch_period = config_.traffic_epoch;
+  }
+  traffic_ = std::make_unique<BackgroundTrafficEngine>(&sim_, std::move(model),
+                                                       FabricPorts(), epoch_period);
+  traffic_->Start();
+}
+
+int Experiment::PathHops(int src, int dst) const {
+  if (SameTor(src, dst)) {
+    return 2;  // host -> ToR -> host
+  }
+  if (config_.fabric == FabricKind::kFatTree) {
+    // hosts_per_tor is k/2 after normalization, so a pod holds (k/2)^2 hosts.
+    const int hosts_per_pod = config_.hosts_per_tor * config_.hosts_per_tor;
+    if (src / hosts_per_pod == dst / hosts_per_pod) {
+      return 4;  // host -> edge -> agg -> edge -> host
+    }
+    return 6;  // host -> edge -> agg -> core -> agg -> edge -> host
+  }
+  return 4;  // host -> ToR -> spine -> ToR -> host
 }
 
 std::vector<std::vector<int>> Experiment::MakeCrossRackGroups(int num_groups) const {
@@ -284,7 +363,8 @@ std::vector<double> Experiment::FlowCompletionTimesMs() const {
 std::vector<uint64_t> Experiment::SpineDataBytes() const {
   std::vector<uint64_t> bytes;
   for (const Switch* sw : topology_.switches) {
-    if (sw->name().rfind("spine", 0) != 0) {
+    // The fabric-core tier: "spine*" in leaf-spine, "core*" in fat-tree.
+    if (sw->name().rfind("spine", 0) != 0 && sw->name().rfind("core", 0) != 0) {
       continue;
     }
     uint64_t total = 0;
@@ -344,6 +424,12 @@ void RegisterPortCounters(CounterRegistry* registry, const std::string& node_nam
   registry->RegisterCounter(prefix + ".pause_transitions", &port->stats().pause_transitions);
   registry->RegisterGauge(prefix + ".pause_us",
                           [port] { return ToMicroseconds(port->PausedTimePs()); });
+  // Hybrid-fidelity columns: exogenous (background-model) occupancy and the
+  // ECN marks it induced. Constant zero unless an engine drives this port.
+  registry->RegisterGauge(prefix + ".exo_bytes", [port] {
+    return static_cast<double>(port->exogenous_bytes());
+  });
+  registry->RegisterCounter(prefix + ".exo_ecn_marks", &port->stats().ecn_marks_exogenous);
 }
 
 }  // namespace
@@ -405,6 +491,13 @@ void Experiment::AttachTelemetry(Telemetry* telemetry) {
 
   if (themis_ != nullptr) {
     themis_->AttachTelemetry(registry);
+  }
+
+  // Background-engine aggregates: traffic.epochs / port_updates /
+  // exo_bytes_total / exo_bytes_peak counters plus the live traffic.exo_bytes
+  // gauge. Absent (no columns) when no model is attached.
+  if (traffic_ != nullptr) {
+    traffic_->RegisterCounters(*registry, "traffic");
   }
 }
 

@@ -22,7 +22,10 @@
 #include "src/telemetry/telemetry.h"
 #include "src/themis/deployment.h"
 #include "src/themis/reorder_buffer.h"
+#include "src/topo/fat_tree.h"
 #include "src/topo/leaf_spine.h"
+#include "src/traffic/background_engine.h"
+#include "src/traffic/traffic_model.h"
 
 namespace themis {
 
@@ -66,10 +69,33 @@ enum class CollectiveKind : uint8_t {
   kBroadcast = 6,              // binomial tree from ranks[0]
 };
 
+// Which fabric the experiment assembles. kFatTree normalizes the
+// num_tors/num_spines/hosts_per_tor triple from `fat_tree_k` so placement
+// helpers (HostTorIndex, edge_rate, load definitions) keep working.
+enum class FabricKind : uint8_t {
+  kLeafSpine = 0,  // 2-tier Clos (Fig. 1 / Fig. 5 setup)
+  kFatTree = 1,    // 3-tier k-ary fat-tree (k^3/4 hosts; Section 4 topology)
+};
+
+constexpr const char* FabricKindName(FabricKind fabric) {
+  switch (fabric) {
+    case FabricKind::kLeafSpine:
+      return "leaf-spine";
+    case FabricKind::kFatTree:
+      return "fat-tree";
+  }
+  return "?";
+}
+
 struct ExperimentConfig {
   uint64_t seed = 1;
 
   // --- Fabric (defaults: the Fig. 5 16x16 leaf-spine at 400 Gbps) ---------
+  FabricKind fabric = FabricKind::kLeafSpine;
+  // kFatTree only: switch arity (even). k=16 -> 1024 hosts. Overrides
+  // num_tors/num_spines/hosts_per_tor, which are normalized to k^2/2, k/2,
+  // k/2 respectively so ordinal/placement helpers stay correct.
+  int fat_tree_k = 8;
   int num_tors = 16;
   int num_spines = 16;
   int hosts_per_tor = 16;
@@ -109,6 +135,17 @@ struct ExperimentConfig {
   TimePs flowlet_gap = 50 * kMicrosecond;
   ReorderHookConfig reorder;  // kSprayReorder baseline knobs
 
+  // --- Hybrid background traffic (src/traffic) -----------------------------
+  // kNone leaves the packet-level hot path untouched (no engine, no epoch
+  // events — determinism goldens are unchanged by construction). kFluid
+  // builds a FluidTrafficModel from the knobs below and starts it on every
+  // connected switch egress port. Trace-calibrated models attach through
+  // AttachTrafficModel() instead.
+  TrafficModelKind traffic_model = TrafficModelKind::kNone;
+  double background_load = 0.0;       // offered background load per port
+  double traffic_burstiness = 0.25;   // AR(1) modulation amplitude
+  TimePs traffic_epoch = 5 * kMicrosecond;  // engine epoch period
+
   // --- Transport & CC ------------------------------------------------------
   TransportKind transport = TransportKind::kNicSr;
   CcKind cc = CcKind::kDcqcn;
@@ -144,6 +181,19 @@ class Experiment {
   const ExperimentConfig& config() const { return config_; }
   const QpConfig& qp_config() const { return qp_config_; }
 
+  // --- Hybrid background traffic -------------------------------------------
+  // Adopts `model` as this experiment's background engine over every
+  // connected switch egress port and starts it (epoch 0 applies
+  // immediately). epoch_period <= 0 uses config().traffic_epoch. Replaces
+  // any engine built from config (e.g. kFluid). Call before running.
+  void AttachTrafficModel(std::unique_ptr<TrafficModel> model, TimePs epoch_period = 0);
+  // The running engine; null when traffic_model == kNone and nothing was
+  // attached explicitly.
+  BackgroundTrafficEngine* traffic() { return traffic_.get(); }
+  // The deterministic switch-egress-port enumeration the engine drives —
+  // also the port order OccupancyRecorder should record for calibration.
+  std::vector<Port*> FabricPorts() const;
+
   // --- Workload helpers ----------------------------------------------------
   // Paper Section 5 grouping: group g contains the g-th host of every ToR,
   // so every group spans all racks and all its traffic crosses the fabric.
@@ -153,6 +203,10 @@ class Experiment {
   // created ToR-major, so rack locality is derivable from the ordinal.
   int HostTorIndex(int ordinal) const { return ordinal / config_.hosts_per_tor; }
   bool SameTor(int a, int b) const { return HostTorIndex(a) == HostTorIndex(b); }
+  // Store-and-forward hop count of the packet path src -> dst: 2 under one
+  // ToR, 4 across a leaf-spine fabric or within a fat-tree pod, 6 across
+  // fat-tree pods. Feeds FlowDriver's ideal-FCT model.
+  int PathHops(int src, int dst) const;
   // Edge (host<->ToR) bandwidth — the load unit for open-loop generators.
   Rate edge_rate() const { return config_.link_rate; }
 
@@ -194,6 +248,9 @@ class Experiment {
   std::unique_ptr<ConnectionManager> connections_;
   std::unique_ptr<ThemisDeployment> themis_;
   std::vector<std::unique_ptr<InNetworkReorderHook>> reorder_hooks_;
+  // Declared last: the engine's destructor clears pressure on ports owned by
+  // network_, which must still be alive.
+  std::unique_ptr<BackgroundTrafficEngine> traffic_;
 };
 
 }  // namespace themis

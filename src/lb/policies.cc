@@ -11,7 +11,10 @@ size_t AdaptiveRoutingLb::Select(const Packet& pkt, std::span<Port* const> candi
   size_t best_count = 0;
   size_t best_index = 0;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const int64_t queued = candidates[i]->queued_data_bytes();
+    // Effective depth = real + exogenous (hybrid background model); the one
+    // depth accessor every congestion-reactive reader goes through, so
+    // packet-level and hybrid runs share this code path exactly.
+    const int64_t queued = candidates[i]->EffectiveQueueBytes();
     if (queued < best_bytes) {
       best_bytes = queued;
       best_count = 1;

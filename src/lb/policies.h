@@ -52,7 +52,9 @@ class RandomSprayLb : public LoadBalancer {
 
 // Adaptive routing: per-packet least-loaded egress (queue depth in bytes),
 // random tie-break. Models switch-local adaptive routing as shipped in
-// modern fabrics.
+// modern fabrics. Depth is read through Port::EffectiveQueueBytes() — real
+// queue plus any exogenous background-model occupancy — so hybrid-fidelity
+// runs steer around modelled congestion through the same code path.
 class AdaptiveRoutingLb : public LoadBalancer {
  public:
   const char* name() const override { return "adaptive"; }

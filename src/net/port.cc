@@ -30,12 +30,21 @@ bool Port::Send(Packet pkt) {
                  static_cast<long long>(queued_data_bytes_));
       return false;
     }
-    if (ecn_.ShouldMark(queued_data_bytes_, sim_->rng())) {
+    // WRED sees the effective depth (real + exogenous); with no background
+    // model attached exo_bytes_ == 0 and this is bit-identical to marking on
+    // queued_data_bytes_ alone — same comparisons, same RNG draws.
+    const int64_t effective_bytes = queued_data_bytes_ + exo_bytes_;
+    if (ecn_.ShouldMark(effective_bytes, sim_->rng())) {
       pkt.ecn_ce = true;
       ++stats_.ecn_marks;
+      if (exo_bytes_ > 0 && queued_data_bytes_ < ecn_.kmin_bytes) {
+        // Real depth alone was below the ramp: only the modelled background
+        // put this packet in the marking region.
+        ++stats_.ecn_marks_exogenous;
+      }
       TracePort(sim_, PortTrace::kEcnMark, static_cast<uint16_t>(owner_->id()),
                 static_cast<uint8_t>(index_), pkt.flow_id,
-                static_cast<uint64_t>(queued_data_bytes_));
+                static_cast<uint64_t>(effective_bytes));
     }
     queued_data_bytes_ += pkt.wire_bytes;
     if (queued_data_bytes_ > stats_.max_queue_bytes) {
@@ -96,7 +105,17 @@ void Port::StartNextTransmission() {
     stats_.tx_data_bytes += pkt.wire_bytes;
   }
 
-  const TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
+  TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
+  // Serialization-slot stealing (hybrid fidelity): modelled background
+  // traffic shares the wire, so a data packet's effective service time is
+  // x/(1-rho) — computed in Q16 integer math (bg_steal_q16_ = rho/(1-rho)
+  // in 16.16) to keep the hot path FP-free. Zero-cost and bit-identical
+  // when no model drives this port. Control packets keep their priority
+  // slot (they ride the lossless class the model does not congest).
+  if (bg_steal_q16_ != 0 && !pkt.IsControl()) {
+    serialization += static_cast<TimePs>(
+        (static_cast<uint64_t>(serialization) * bg_steal_q16_) >> 16);
+  }
 
   // Wire frees up after serialization completes. Both events below are the
   // per-packet hot path: tagged, callback-free calendar entries that

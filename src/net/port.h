@@ -27,6 +27,10 @@ struct PortStats {
   uint64_t drops = 0;
   uint64_t drop_bytes = 0;
   uint64_t ecn_marks = 0;
+  // Subset of ecn_marks that only happened because exogenous (background
+  // model) occupancy lifted the effective depth past kmin — the hybrid
+  // engine's model-induced marks.
+  uint64_t ecn_marks_exogenous = 0;
   uint64_t pause_transitions = 0;  // PFC pause assertions received
   int64_t max_queue_bytes = 0;
   TimePs paused_time_ps = 0;  // closed pause intervals only; see PausedTimePs()
@@ -92,6 +96,32 @@ class Port {
   bool paused() const { return paused_; }
 
   int64_t queued_data_bytes() const { return queued_data_bytes_; }
+
+  // --- Hybrid-fidelity exogenous pressure (src/traffic) ---------------------
+  // The BackgroundTrafficEngine folds modelled background load into this port
+  // as (virtual occupancy bytes, link utilization). Effects:
+  //   * EffectiveQueueBytes() — what depth-reading LB policies and the WRED
+  //     profile see — becomes real + exogenous bytes;
+  //   * foreground serialization slots stretch by 1/(1 - utilization)
+  //     (processor sharing with the modelled background), via integer Q16
+  //     math so the hot path stays FP-free and bit-identical when off.
+  // Drop-tail capacity and PFC accounting stay on *real* bytes: modelled
+  // background must not consume real buffer credit (fidelity boundary,
+  // DESIGN.md "Hybrid fidelity").
+  void SetBackgroundPressure(int64_t occupancy_bytes, double utilization) {
+    exo_bytes_ = occupancy_bytes > 0 ? occupancy_bytes : 0;
+    constexpr double kMaxUtil = 0.95;  // TrafficModel::kMaxUtilization
+    const double util = utilization < 0.0 ? 0.0 : (utilization > kMaxUtil ? kMaxUtil : utilization);
+    // Q16 fixed-point of util / (1 - util): extra serialization per unit.
+    bg_steal_q16_ = util > 0.0 ? static_cast<uint64_t>(util / (1.0 - util) * 65536.0 + 0.5) : 0;
+  }
+  int64_t exogenous_bytes() const { return exo_bytes_; }
+
+  // The single depth accessor for congestion-reactive readers (adaptive
+  // routing, WRED/ECN): real queued data bytes plus exogenous model
+  // occupancy. Identical to queued_data_bytes() when no model is attached.
+  int64_t EffectiveQueueBytes() const { return queued_data_bytes_ + exo_bytes_; }
+
   int64_t data_queue_capacity() const { return data_queue_capacity_; }
   bool connected() const { return peer_ != nullptr; }
   Node* peer() const { return peer_; }
@@ -161,6 +191,11 @@ class Port {
   // FIFO is valid because per-link arrival times are monotone.
   PacketQueue in_flight_;
   int64_t queued_data_bytes_ = 0;
+  // Exogenous pressure (SetBackgroundPressure): virtual occupancy and the
+  // Q16 slot-stealing factor util/(1-util). Both zero unless a background
+  // model drives this port.
+  int64_t exo_bytes_ = 0;
+  uint64_t bg_steal_q16_ = 0;
 
   EcnProfile ecn_{.enabled = false};
   PortStats stats_;

@@ -118,6 +118,37 @@ class TimeSeries {
   std::vector<Sample> samples_;
 };
 
+// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)| over the
+// empirical CDFs of the two samples. 0 = identical distributions, 1 = fully
+// disjoint supports. Used by the hybrid-fidelity harness to compare slowdown
+// CDFs between a packet-level reference and a hybrid run. Returns 1.0 when
+// exactly one sample is empty, 0.0 when both are.
+inline double KsStatistic(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    return (a.empty() && b.empty()) ? 0.0 : 1.0;
+  }
+  std::vector<double> sa = a;
+  std::vector<double> sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) {
+      ++ia;
+    }
+    while (ib < sb.size() && sb[ib] <= x) {
+      ++ib;
+    }
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
 // Statistics over a plain collection of scalars (e.g. per-flow throughputs).
 struct ScalarSummary {
   double mean = 0.0;

@@ -110,6 +110,12 @@ const char* TraceEventName(TraceCategory category, uint8_t code) {
           return "cc.rate_increase";
       }
       break;
+    case TraceCategory::kTraffic:
+      switch (static_cast<TrafficTrace>(code)) {
+        case TrafficTrace::kEpochUpdate:
+          return "traffic.epoch_update";
+      }
+      break;
     case TraceCategory::kCount:
       break;
   }

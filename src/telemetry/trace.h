@@ -42,7 +42,8 @@ enum class TraceCategory : uint8_t {
   kRnic = 1,    // sender/receiver QP activity
   kThemis = 2,  // Themis-D flow table, ring queue, NACK verdicts
   kCc = 3,      // congestion-control rate updates
-  kCount = 4,
+  kTraffic = 4,  // background-load engine epoch updates (hybrid fidelity)
+  kCount = 5,
 };
 
 constexpr const char* TraceCategoryName(TraceCategory category) {
@@ -55,6 +56,8 @@ constexpr const char* TraceCategoryName(TraceCategory category) {
       return "themis";
     case TraceCategory::kCc:
       return "cc";
+    case TraceCategory::kTraffic:
+      return "traffic";
     case TraceCategory::kCount:
       break;
   }
@@ -110,6 +113,10 @@ enum class ThemisTrace : uint8_t {
 enum class CcTrace : uint8_t {
   kRateCut = 0,       // multiplicative decrease; a = old bps, b = new bps
   kRateIncrease = 1,  // increase event; a = new current bps, b = target bps
+};
+
+enum class TrafficTrace : uint8_t {
+  kEpochUpdate = 0,  // background epoch applied; a = total exo bytes, b = epoch
 };
 
 // One ring record. 40 bytes; `a` and `b` carry per-code payload documented
@@ -245,6 +252,10 @@ inline void TraceThemis(Simulator* sim, ThemisTrace code, uint16_t node, uint32_
 inline void TraceCc(Simulator* sim, CcTrace code, uint16_t node, uint32_t flow_id,
                     uint64_t a = 0, uint64_t b = 0) {
   TraceRecord(sim, TraceCategory::kCc, static_cast<uint8_t>(code), node, 0, flow_id, a, b);
+}
+
+inline void TraceTraffic(Simulator* sim, TrafficTrace code, uint64_t a = 0, uint64_t b = 0) {
+  TraceRecord(sim, TraceCategory::kTraffic, static_cast<uint8_t>(code), 0, 0, 0, a, b);
 }
 
 // Human-readable name for (category, code); shared by the exporters.

@@ -1,0 +1,92 @@
+#include "src/traffic/background_engine.h"
+
+#include <algorithm>
+
+#include "src/net/port.h"
+#include "src/telemetry/counters.h"
+#include "src/telemetry/trace.h"
+#include "src/topo/switch.h"
+
+namespace themis {
+
+std::vector<Port*> SwitchEgressPorts(const std::vector<Switch*>& switches) {
+  std::vector<Port*> ports;
+  for (Switch* sw : switches) {
+    for (int p = 0; p < sw->port_count(); ++p) {
+      Port* port = sw->port(p);
+      if (port->connected()) {
+        ports.push_back(port);
+      }
+    }
+  }
+  return ports;
+}
+
+BackgroundTrafficEngine::BackgroundTrafficEngine(Simulator* sim,
+                                                 std::unique_ptr<TrafficModel> model,
+                                                 std::vector<Port*> ports,
+                                                 TimePs epoch_period)
+    : sim_(sim),
+      model_(std::move(model)),
+      ports_(std::move(ports)),
+      epoch_period_(epoch_period),
+      timer_(sim, [this] { ApplyEpoch(); }) {
+  model_->Bind(ports_.size(), epoch_period_);
+}
+
+BackgroundTrafficEngine::~BackgroundTrafficEngine() { Stop(); }
+
+void BackgroundTrafficEngine::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ApplyEpoch();  // epoch 0 takes effect before the first packet moves
+  timer_.Start(epoch_period_);
+}
+
+void BackgroundTrafficEngine::Stop() {
+  if (!running_) {
+    return;
+  }
+  timer_.Cancel();
+  running_ = false;
+  for (Port* port : ports_) {
+    port->SetBackgroundPressure(0, 0.0);
+  }
+}
+
+void BackgroundTrafficEngine::ApplyEpoch() {
+  const uint64_t epoch = next_epoch_++;
+  uint64_t epoch_bytes = 0;
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    const PortPressure pressure = model_->Update(i, epoch);
+    ports_[i]->SetBackgroundPressure(pressure.occupancy_bytes, pressure.utilization);
+    epoch_bytes += static_cast<uint64_t>(std::max<int64_t>(pressure.occupancy_bytes, 0));
+    ++stats_.port_updates;
+  }
+  ++stats_.epochs;
+  stats_.exo_bytes_total += epoch_bytes;
+  stats_.exo_bytes_peak = std::max(stats_.exo_bytes_peak, epoch_bytes);
+  TraceTraffic(sim_, TrafficTrace::kEpochUpdate, epoch_bytes, epoch);
+}
+
+int64_t BackgroundTrafficEngine::TotalExogenousBytes() const {
+  int64_t total = 0;
+  for (const Port* port : ports_) {
+    total += port->exogenous_bytes();
+  }
+  return total;
+}
+
+void BackgroundTrafficEngine::RegisterCounters(CounterRegistry& registry,
+                                               const std::string& prefix) const {
+  registry.RegisterCounter(prefix + ".epochs", &stats_.epochs);
+  registry.RegisterCounter(prefix + ".port_updates", &stats_.port_updates);
+  registry.RegisterCounter(prefix + ".exo_bytes_total", &stats_.exo_bytes_total);
+  registry.RegisterCounter(prefix + ".exo_bytes_peak", &stats_.exo_bytes_peak);
+  registry.RegisterGauge(prefix + ".exo_bytes",
+                         [this] { return static_cast<double>(TotalExogenousBytes()); });
+}
+
+}  // namespace themis

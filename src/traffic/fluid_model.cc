@@ -1,0 +1,66 @@
+#include "src/traffic/fluid_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/workload/flow_generator.h"
+
+namespace themis {
+namespace {
+
+// Stream id for MixSeed: keeps the fluid model's draws disjoint from the
+// workload generator streams (which use small host ordinals).
+constexpr uint64_t kFluidStream = 0x7F1D00000000ULL;
+
+}  // namespace
+
+void FluidTrafficModel::Bind(size_t num_ports, TimePs epoch_period) {
+  (void)epoch_period;  // the AR(1) recurrence is per-epoch, cadence-agnostic
+  port_rng_.clear();
+  port_rng_.reserve(num_ports);
+  port_level_.assign(num_ports, 0.0);
+  for (size_t p = 0; p < num_ports; ++p) {
+    port_rng_.emplace_back(MixSeed(config_.seed, kFluidStream, p));
+  }
+}
+
+double FluidTrafficModel::PortLoad(size_t port) const {
+  double load = port < config_.per_port_load.size() && config_.per_port_load[port] >= 0.0
+                    ? config_.per_port_load[port]
+                    : config_.load;
+  return std::clamp(load, 0.0, kMaxUtilization);
+}
+
+PortPressure FluidTrafficModel::Update(size_t port, uint64_t epoch) {
+  (void)epoch;  // ordering is guaranteed by the engine; state carries epoch
+  const double rho = PortLoad(port);
+  PortPressure pressure;
+  if (rho <= 0.0) {
+    return pressure;
+  }
+
+  // AR(1) modulation level in [-1, 1]: level' = phi*level + (1-phi)*u with
+  // u uniform in [-1, 1]. Drawn even when burstiness is zero so toggling
+  // burstiness does not shift any other port's stream (each port has its
+  // own Rng, but within a port the draw count stays fixed per epoch).
+  const double phi = std::clamp(config_.persistence, 0.0, 0.999);
+  const double u = 2.0 * port_rng_[port].NextDouble() - 1.0;
+  double& level = port_level_[port];
+  level = phi * level + (1.0 - phi) * u;
+  level = std::clamp(level, -1.0, 1.0);
+
+  // 3x amplification: with (1-phi) innovation the stationary level std is
+  // small; x3 makes burstiness=0.25 span roughly +-75% of the mean.
+  const double swing = std::clamp(config_.burstiness, 0.0, 1.0) * 3.0 * level;
+
+  // M/M/1 waiting-queue occupancy at the modulated load.
+  const double rho_now = std::clamp(rho * (1.0 + swing), 0.0, kMaxUtilization);
+  const double lq = rho_now * rho_now / (1.0 - rho_now);
+  const double occ = lq * static_cast<double>(config_.mean_packet_bytes);
+
+  pressure.occupancy_bytes = static_cast<int64_t>(std::llround(occ));
+  pressure.utilization = rho_now;
+  return pressure;
+}
+
+}  // namespace themis

@@ -1,0 +1,66 @@
+// Fluid (M/M/1-style) analytical background-load model.
+//
+// Each driven port is treated as an M/M/1 queue offered a background load
+// rho (fraction of link capacity). The stationary *waiting* queue length —
+// the packets a foreground arrival finds ahead of it, excluding the one in
+// service, which slot stealing already accounts for — is
+//
+//   Lq = rho^2 / (1 - rho)  packets  ->  occupancy = Lq * mean_packet_bytes.
+//
+// Time variation: per-port bounded AR(1) modulation around the stationary
+// point, so occupancy and utilization wander the way a real aggregate does
+// instead of sitting frozen at the mean. Every draw comes from a per-port
+// Rng seeded from (seed, port) via MixSeed, advanced once per epoch — the
+// series is a pure function of (config, port, epoch).
+
+#ifndef THEMIS_SRC_TRAFFIC_FLUID_MODEL_H_
+#define THEMIS_SRC_TRAFFIC_FLUID_MODEL_H_
+
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/traffic/traffic_model.h"
+
+namespace themis {
+
+struct FluidModelConfig {
+  // Background offered load per port, fraction of link capacity. Values are
+  // clamped to [0, TrafficModel::kMaxUtilization] at update time.
+  double load = 0.5;
+  // Per-port overrides of `load` (index = engine port index). Ports beyond
+  // the vector use `load`. This is the per-port offered-load matrix hook:
+  // callers with a background traffic matrix project it onto port loads.
+  std::vector<double> per_port_load;
+  // Relative amplitude of the AR(1) modulation: 0 = frozen at the
+  // stationary mean, 0.25 = occupancy/utilization wander roughly +-75%
+  // peak (3x amplification of the bounded level, see Update()).
+  double burstiness = 0.25;
+  // AR(1) persistence phi in [0, 1): epoch-to-epoch correlation of the
+  // modulation level. Higher = slower-moving background.
+  double persistence = 0.8;
+  // Mean background packet size on the wire (bytes).
+  int64_t mean_packet_bytes = 1500;
+  uint64_t seed = 1;
+};
+
+class FluidTrafficModel : public TrafficModel {
+ public:
+  explicit FluidTrafficModel(const FluidModelConfig& config) : config_(config) {}
+
+  const char* name() const override { return "fluid"; }
+
+  void Bind(size_t num_ports, TimePs epoch_period) override;
+  PortPressure Update(size_t port, uint64_t epoch) override;
+
+  // Offered load for `port` after per-port overrides and clamping.
+  double PortLoad(size_t port) const;
+
+ private:
+  FluidModelConfig config_;
+  std::vector<Rng> port_rng_;      // one stream per port, MixSeed(seed, port)
+  std::vector<double> port_level_; // AR(1) state, bounded in [-1, 1]
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_TRAFFIC_FLUID_MODEL_H_

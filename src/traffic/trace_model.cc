@@ -1,0 +1,76 @@
+#include "src/traffic/trace_model.h"
+
+#include <algorithm>
+
+#include "src/net/port.h"
+
+namespace themis {
+
+void TraceTrafficModel::Bind(size_t num_ports, TimePs epoch_period) {
+  (void)num_ports;  // ports beyond the recording simply read zero
+  engine_period_ = epoch_period;
+}
+
+PortPressure TraceTrafficModel::Update(size_t port, uint64_t epoch) {
+  if (port >= trace_.series.size() || trace_.series[port].empty()) {
+    return PortPressure{};
+  }
+  const std::vector<PortPressure>& row = trace_.series[port];
+  // Rescale the engine epoch onto the recording cadence (integer math; both
+  // periods are fixed for the run, so this is deterministic).
+  uint64_t k = epoch;
+  if (trace_.epoch_period > 0 && engine_period_ > 0 &&
+      engine_period_ != trace_.epoch_period) {
+    k = static_cast<uint64_t>(static_cast<__int128>(epoch) * engine_period_ /
+                              trace_.epoch_period);
+  }
+  k = std::min<uint64_t>(k, row.size() - 1);  // hold-last beyond the recording
+  PortPressure pressure = row[k];
+  pressure.utilization =
+      std::clamp(pressure.utilization, 0.0, TrafficModel::kMaxUtilization);
+  pressure.occupancy_bytes = std::max<int64_t>(pressure.occupancy_bytes, 0);
+  return pressure;
+}
+
+OccupancyRecorder::OccupancyRecorder(Simulator* sim, std::vector<Port*> ports,
+                                     TimePs period)
+    : sim_(sim),
+      ports_(std::move(ports)),
+      period_(period),
+      last_tx_bytes_(ports_.size(), 0),
+      series_(ports_.size()),
+      timer_(sim, [this] { Sample(); }) {}
+
+void OccupancyRecorder::Start() {
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    last_tx_bytes_[i] = ports_[i]->stats().tx_bytes;
+  }
+  timer_.Start(period_);
+}
+
+void OccupancyRecorder::Stop() { timer_.Cancel(); }
+
+void OccupancyRecorder::Sample() {
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    const Port& port = *ports_[i];
+    PortPressure sample;
+    sample.occupancy_bytes = port.queued_data_bytes();
+    const uint64_t tx = port.stats().tx_bytes;
+    const int64_t capacity = port.rate().BytesIn(period_);
+    if (capacity > 0) {
+      sample.utilization = std::min(
+          1.0, static_cast<double>(tx - last_tx_bytes_[i]) / static_cast<double>(capacity));
+    }
+    last_tx_bytes_[i] = tx;
+    series_[i].push_back(sample);
+  }
+}
+
+PortPressureTrace OccupancyRecorder::Harvest() const {
+  PortPressureTrace trace;
+  trace.epoch_period = period_;
+  trace.series = series_;
+  return trace;
+}
+
+}  // namespace themis

@@ -10,7 +10,7 @@ std::vector<double> FctWorkloadResult::Slowdowns() const {
   std::vector<double> out;
   out.reserve(records.size());
   for (const FlowRecord& r : records) {
-    if (r.completed()) {
+    if (r.completed() && !r.spec.background) {
       out.push_back(r.Slowdown());
     }
   }
@@ -69,9 +69,9 @@ void FlowDriver::OnFlowComplete(size_t i) {
 TimePs FlowDriver::IdealFct(const FlowSpec& spec) const {
   const ExperimentConfig& config = exp_->config();
   const Rate rate = config.link_rate;
-  // Shortest path: host->ToR->host within a rack, host->ToR->spine->ToR->host
-  // across racks.
-  const int hops = exp_->SameTor(spec.src, spec.dst) ? 2 : 4;
+  // Shortest-path hop count from the experiment's fabric (2 intra-rack,
+  // 4 across a leaf-spine or within a fat-tree pod, 6 across pods).
+  const int hops = exp_->PathHops(spec.src, spec.dst);
 
   const uint64_t payload_per_packet = exp_->qp_config().PayloadPerPacket();
   const uint64_t packets = (spec.bytes + payload_per_packet - 1) / payload_per_packet;
@@ -93,15 +93,23 @@ TimePs FlowDriver::IdealFct(const FlowSpec& spec) const {
 
 FctWorkloadResult FlowDriver::Collect() const {
   FctWorkloadResult result;
-  result.flows_total = records_.size();
-  result.flows_completed = completed_;
   result.records = records_;
 
+  // Measured statistics cover foreground flows only; background ballast (a
+  // full-fidelity hybrid reference) is counted but never enters slowdown,
+  // goodput, or makespan. Without background flows this is the plain path.
   uint64_t delivered_bytes = 0;
   for (const FlowRecord& r : records_) {
+    if (r.spec.background) {
+      ++result.background_total;
+      result.background_completed += r.completed() ? 1 : 0;
+      continue;
+    }
+    ++result.flows_total;
     if (!r.completed()) {
       continue;
     }
+    ++result.flows_completed;
     delivered_bytes += r.spec.bytes;
     result.makespan = std::max(result.makespan, r.completion);
     result.slowdown_series.Record(r.completion, r.Slowdown());
@@ -126,7 +134,23 @@ FctWorkloadResult FlowDriver::Collect() const {
 FctWorkloadResult RunFctWorkload(const ExperimentConfig& exp_config,
                                  const WorkloadSpec& workload, const FlowSizeCdf& cdf,
                                  TimePs deadline, const FctTelemetryOptions& telemetry) {
+  FctRunOptions options;
+  options.deadline = deadline;
+  options.telemetry = telemetry;
+  return RunFctWorkloadEx(exp_config, workload, cdf, options);
+}
+
+FctWorkloadResult RunFctWorkloadEx(const ExperimentConfig& exp_config,
+                                   const WorkloadSpec& workload, const FlowSizeCdf& cdf,
+                                   const FctRunOptions& options) {
+  const FctTelemetryOptions& telemetry = options.telemetry;
   Experiment exp(exp_config);
+  if (options.replay != nullptr) {
+    // Trace-calibrated hybrid: replay the recorded pressure series at its
+    // own cadence (replacing any config-built engine).
+    exp.AttachTrafficModel(std::make_unique<TraceTrafficModel>(*options.replay),
+                           options.replay->epoch_period);
+  }
   std::unique_ptr<Telemetry> bundle;
   if (telemetry.enabled) {
     bundle = std::make_unique<Telemetry>(&exp.sim(), telemetry.config);
@@ -135,10 +159,27 @@ FctWorkloadResult RunFctWorkload(const ExperimentConfig& exp_config,
   }
   std::vector<FlowSpec> flows =
       GenerateFlows(workload, cdf, exp.host_count(), exp.edge_rate());
+  if (options.background_flows) {
+    flows = MergeBackgroundFlows(
+        std::move(flows),
+        GenerateFlows(options.background, cdf, exp.host_count(), exp.edge_rate()));
+  }
+  // Calibration recorder: observation-only (reads port state, never touches
+  // the RNG), so the reference run's packet behaviour is unperturbed.
+  std::unique_ptr<OccupancyRecorder> recorder;
+  if (options.record_period > 0 && options.calibration != nullptr) {
+    recorder = std::make_unique<OccupancyRecorder>(&exp.sim(), exp.FabricPorts(),
+                                                   options.record_period);
+    recorder->Start();
+  }
   FlowDriver driver(&exp, std::move(flows));
   driver.Post();
-  exp.sim().RunUntil(deadline);
+  exp.sim().RunUntil(options.deadline);
   FctWorkloadResult result = driver.Collect();
+  if (recorder != nullptr) {
+    recorder->Stop();
+    *options.calibration = recorder->Harvest();
+  }
   if (bundle != nullptr) {
     bundle->StopSampling();
     bundle->sampler().SampleNow();  // closing row at end-of-run state

@@ -20,6 +20,7 @@
 
 #include "src/core/experiment.h"
 #include "src/stats/time_series.h"
+#include "src/traffic/trace_model.h"
 #include "src/workload/flow_generator.h"
 
 namespace themis {
@@ -38,13 +39,17 @@ struct FlowRecord {
 };
 
 struct FctWorkloadResult {
+  // Foreground (measured) flows; background ballast is counted separately.
   size_t flows_total = 0;
   size_t flows_completed = 0;
-  PercentileSummary slowdown;      // over completed flows
-  double goodput_gbps = 0.0;       // completed payload bytes / makespan
-  TimePs makespan = 0;             // last completion (or deadline if cut off)
+  // Background flows of a full-fidelity hybrid reference run (0/0 normally).
+  size_t background_total = 0;
+  size_t background_completed = 0;
+  PercentileSummary slowdown;      // over completed foreground flows
+  double goodput_gbps = 0.0;       // completed foreground payload / makespan
+  TimePs makespan = 0;             // last foreground completion
   std::vector<FlowRecord> records;
-  TimeSeries slowdown_series;      // (completion time, slowdown) per flow
+  TimeSeries slowdown_series;      // (completion time, slowdown) per fg flow
 
   // Fabric-side aggregates snapshotted after the run.
   double rtx_ratio = 0.0;
@@ -57,6 +62,7 @@ struct FctWorkloadResult {
   uint64_t trace_events = 0;
   uint64_t trace_overwritten = 0;
 
+  // Slowdowns of completed *foreground* flows, record order.
   std::vector<double> Slowdowns() const;
 };
 
@@ -103,11 +109,38 @@ struct FctTelemetryOptions {
   std::string counters_path;  // empty = keep in memory only
 };
 
+// Extended harness knobs for hybrid-fidelity comparisons (all default-off:
+// RunFctWorkloadEx with a default FctRunOptions == RunFctWorkload).
+struct FctRunOptions {
+  TimePs deadline = kTimeInfinity;
+  FctTelemetryOptions telemetry;
+  // Full-fidelity reference: also generate this background workload and run
+  // it as real packet-level flows tagged background (excluded from the
+  // measured statistics). Give it a seed different from the foreground's.
+  bool background_flows = false;
+  WorkloadSpec background;
+  // Calibration: sample every fabric port's (occupancy, utilization) at this
+  // cadence into *calibration after the run — feed it to a TraceTrafficModel
+  // for the trace-calibrated hybrid variant. 0 / null = off.
+  TimePs record_period = 0;
+  PortPressureTrace* calibration = nullptr;
+  // Hybrid replay: attach a TraceTrafficModel over this recorded pressure
+  // trace (epoch period = the trace's own cadence). Overrides any engine the
+  // ExperimentConfig would build. Must outlive the call.
+  const PortPressureTrace* replay = nullptr;
+};
+
 // One-call harness: builds the Experiment, generates the flow list, runs to
 // completion (or `deadline`), and returns the collected result.
 FctWorkloadResult RunFctWorkload(const ExperimentConfig& exp_config, const WorkloadSpec& workload,
                                  const FlowSizeCdf& cdf, TimePs deadline = kTimeInfinity,
                                  const FctTelemetryOptions& telemetry = {});
+
+// The hybrid-aware harness: RunFctWorkload plus background packet flows,
+// occupancy-trace calibration, and trace-model replay per `options`.
+FctWorkloadResult RunFctWorkloadEx(const ExperimentConfig& exp_config,
+                                   const WorkloadSpec& workload, const FlowSizeCdf& cdf,
+                                   const FctRunOptions& options);
 
 }  // namespace themis
 

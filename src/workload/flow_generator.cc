@@ -115,6 +115,35 @@ std::vector<int> PermutationTargets(uint64_t seed, int num_hosts) {
   return perm;
 }
 
+std::vector<FlowSpec> MergeBackgroundFlows(std::vector<FlowSpec> foreground,
+                                           std::vector<FlowSpec> background) {
+  std::vector<FlowSpec> merged = std::move(foreground);
+  merged.reserve(merged.size() + background.size());
+  for (FlowSpec& flow : background) {
+    flow.background = true;
+    merged.push_back(flow);
+  }
+  std::sort(merged.begin(), merged.end(), [](const FlowSpec& a, const FlowSpec& b) {
+    if (a.start_time != b.start_time) {
+      return a.start_time < b.start_time;
+    }
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    if (a.dst != b.dst) {
+      return a.dst < b.dst;
+    }
+    if (a.bytes != b.bytes) {
+      return a.bytes < b.bytes;
+    }
+    return a.background < b.background;  // foreground first among exact twins
+  });
+  for (size_t i = 0; i < merged.size(); ++i) {
+    merged[i].index = static_cast<uint32_t>(i);
+  }
+  return merged;
+}
+
 std::vector<FlowSpec> GenerateFlows(const WorkloadSpec& spec, const FlowSizeCdf& cdf,
                                     int num_hosts, Rate edge_rate) {
   assert(num_hosts >= 2 && "a flow workload needs at least two hosts");

@@ -65,6 +65,10 @@ struct FlowSpec {
   uint64_t bytes = 0;
   TimePs start_time = 0;
   uint32_t index = 0;
+  // Background ballast (hybrid-fidelity full runs): simulated at packet
+  // level like any flow but excluded from slowdown/goodput statistics —
+  // only foreground flows are measured.
+  bool background = false;
 };
 
 // Stable per-(stream, draw) seed derivation from the experiment seed.
@@ -83,6 +87,13 @@ std::vector<FlowSpec> GenerateFlows(const WorkloadSpec& spec, const FlowSizeCdf&
 // The fixed sender->receiver derangement kPermutation uses (exposed for
 // tests; a pure function of (seed, num_hosts)).
 std::vector<int> PermutationTargets(uint64_t seed, int num_hosts);
+
+// Merges a background flow list into a foreground one for full-fidelity
+// reference runs: background flows are tagged, the union is re-sorted by
+// (start_time, src, dst, bytes, background) and re-indexed. Generate the two
+// lists from *different* seeds so their arrival streams are independent.
+std::vector<FlowSpec> MergeBackgroundFlows(std::vector<FlowSpec> foreground,
+                                           std::vector<FlowSpec> background);
 
 }  // namespace themis
 

@@ -122,6 +122,44 @@ TEST(DeterminismTest, ScalarFallbackReproducesGoldens) {
   }
 }
 
+TEST(DeterminismTest, TrafficModelOffLeavesEveryGoldenUnchanged) {
+  // The hybrid-fidelity hooks (effective-depth ECN, Q16 slot stealing,
+  // epoch engine) must be invisible with no model attached: kNone builds no
+  // engine, schedules no events, and leaves exo_bytes == 0 on every port,
+  // so the WRED comparisons and RNG draw sequence are bit-identical to the
+  // pre-traffic engine. Every golden must hold with the knob set explicitly.
+  for (const Golden& g : kGoldens) {
+    ExperimentConfig config = DeterminismConfig(g.scheme, g.seed, g.pfc);
+    config.traffic_model = TrafficModelKind::kNone;
+    Experiment exp(config);
+    EXPECT_EQ(exp.traffic(), nullptr);
+    auto result = exp.RunCollective(CollectiveKind::kAllreduce,
+                                    exp.MakeCrossRackGroups(2), 1 << 20, 10 * kSecond);
+    uint64_t h = DigestExperiment(exp);
+    h = FnvMix(h, result.all_done ? 1 : 0);
+    h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+    EXPECT_EQ(h, g.hash) << SchemeName(g.scheme) << " seed=" << g.seed
+                         << " (traffic model off)";
+  }
+}
+
+TEST(DeterminismTest, FluidBackgroundActuallyPerturbsTheRun) {
+  // Complement of the model-off golden: with a fluid model attached the
+  // digest must *differ* — pinning that the engine is live, not a no-op.
+  const Golden& g = kGoldens[0];
+  ExperimentConfig config = DeterminismConfig(g.scheme, g.seed, g.pfc);
+  config.traffic_model = TrafficModelKind::kFluid;
+  config.background_load = 0.5;
+  Experiment exp(config);
+  ASSERT_NE(exp.traffic(), nullptr);
+  auto result = exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2),
+                                  1 << 20, 10 * kSecond);
+  uint64_t h = DigestExperiment(exp);
+  h = FnvMix(h, result.all_done ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+  EXPECT_NE(h, g.hash);
+}
+
 TEST(DeterminismTest, TelemetryAttachmentIsInvisibleInTraceHashes) {
   // The sampler schedules periodic timer events and the sink records every
   // hot-path event; neither may perturb the model. Goldens must still hold.
