@@ -44,6 +44,7 @@ struct CliOptions {
   int64_t traffic_epoch_us = 5;
   uint64_t seed = 1;
   uint64_t max_flows = 0;
+  std::string scenario;  // preset name or script path; empty = no faults
   bool pfc = true;
   bool compensation = true;
   bool grace = true;
@@ -71,6 +72,8 @@ struct CliOptions {
       "  --background-load=F  modelled background load per fabric port (default 0)\n"
       "  --traffic-burstiness=F  AR(1) modulation amplitude (default 0.25)\n"
       "  --traffic-epoch-us=N    background epoch period (default 5)\n"
+      "  --scenario=NAME|PATH fault-injection campaign: a preset (tor-uplink-flap,\n"
+      "                       gray-spine) or a .scn script file (see examples/scenarios/)\n"
       "  --seed=N             RNG seed (default 1)\n"
       "  --max-flows=N        truncate the generated flow list (default: no cap)\n"
       "  --no-pfc             disable priority flow control\n"
@@ -192,6 +195,8 @@ CliOptions Parse(int argc, char** argv) {
       opts.hosts_per_tor = std::atoi(value.c_str());
     } else if (ParseValue(arg, "--rate-gbps", &value)) {
       opts.rate_gbps = std::atoll(value.c_str());
+    } else if (ParseValue(arg, "--scenario", &value)) {
+      opts.scenario = value;
     } else if (ParseValue(arg, "--seed", &value)) {
       opts.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(arg, "--max-flows", &value)) {
@@ -267,6 +272,17 @@ int main(int argc, char** argv) {
   config.traffic_burstiness = opts.traffic_burstiness;
   config.traffic_epoch = opts.traffic_epoch_us * kMicrosecond;
 
+  if (!opts.scenario.empty()) {
+    // Preset name first, then script file.
+    if (!ScenarioPreset(opts.scenario, &config.scenario)) {
+      std::string error;
+      if (!LoadScenarioFile(opts.scenario, &config.scenario, &error)) {
+        std::fprintf(stderr, "--scenario: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  }
+
   WorkloadSpec workload;
   workload.pattern = opts.pattern;
   workload.load = opts.load;
@@ -332,6 +348,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.themis.nacks_forwarded_genuine),
                 static_cast<unsigned long long>(result.themis.nacks_forwarded_unmatched),
                 static_cast<unsigned long long>(result.themis.compensated_nacks));
+  }
+  if (!result.scenario_faults.empty()) {
+    std::printf("scenario:           %zu fault(s) injected (%s)\n",
+                result.scenario_faults.size(), opts.scenario.c_str());
+    for (size_t i = 0; i < result.scenario_faults.size(); ++i) {
+      const FaultRecord& f = result.scenario_faults[i];
+      const TimePs recovery = f.RecoveryTimePs();
+      std::printf("  fault %zu: %-7s applied %.1f us, cleared %s, first drop %s, "
+                  "recovery %s, %llu drops, %llu victim flow(s)\n",
+                  i, FaultKindName(f.kind), ToMicroseconds(f.applied),
+                  f.cleared >= 0 ? (FormatDouble(ToMicroseconds(f.cleared), 1) + " us").c_str()
+                                 : "never",
+                  f.first_drop >= 0
+                      ? (FormatDouble(ToMicroseconds(f.first_drop), 1) + " us").c_str()
+                      : "none",
+                  recovery >= 0 ? (FormatDouble(ToMicroseconds(recovery), 1) + " us").c_str()
+                                : "n/a",
+                  static_cast<unsigned long long>(f.drops_during),
+                  static_cast<unsigned long long>(f.victim_flows));
+    }
   }
   if (telemetry.enabled) {
     std::printf("telemetry:          %llu trace events recorded (%llu evicted by ring wrap)\n",

@@ -1,6 +1,8 @@
 #include "src/core/experiment.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/traffic/fluid_model.h"
 
@@ -194,6 +196,20 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
     fluid.burstiness = config_.traffic_burstiness;
     fluid.seed = config_.seed;
     AttachTrafficModel(std::make_unique<FluidTrafficModel>(fluid), config_.traffic_epoch);
+  }
+
+  // Chaos engine from config. An empty script builds nothing — no engine, no
+  // timers — so scenario-free runs are bit-exact by construction. A target
+  // typo aborts loudly: a campaign that silently faults nothing would report
+  // meaningless recovery numbers.
+  if (!config_.scenario.empty()) {
+    scenario_ = std::make_unique<ScenarioEngine>(&sim_, config_.scenario, config_.seed);
+    std::string error;
+    if (!scenario_->Attach(topology_, themis_.get(), hosts_, &error)) {
+      std::fprintf(stderr, "scenario attach failed: %s\n", error.c_str());
+      std::abort();
+    }
+    scenario_->Start();
   }
 }
 
@@ -498,6 +514,16 @@ void Experiment::AttachTelemetry(Telemetry* telemetry) {
   // gauge. Absent (no columns) when no model is attached.
   if (traffic_ != nullptr) {
     traffic_->RegisterCounters(*registry, "traffic");
+  }
+
+  // Chaos-engine aggregates (scenario.faults_applied / gray_drops / ... plus
+  // the live scenario.open_faults gauge) and the per-host CRC-drop counter
+  // gray corruption feeds. Absent when no scenario is configured.
+  if (scenario_ != nullptr) {
+    scenario_->RegisterCounters(*registry, "scenario");
+    for (RnicHost* host : hosts_) {
+      registry->RegisterCounter(host->name() + ".corrupt_rx", &host->stats().corrupt_rx);
+    }
   }
 }
 

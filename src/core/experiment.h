@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/collective/alltoall.h"
+#include "src/scenario/scenario_engine.h"
 #include "src/collective/broadcast.h"
 #include "src/collective/connections.h"
 #include "src/collective/halving_doubling.h"
@@ -146,6 +147,15 @@ struct ExperimentConfig {
   double traffic_burstiness = 0.25;   // AR(1) modulation amplitude
   TimePs traffic_epoch = 5 * kMicrosecond;  // engine epoch period
 
+  // --- Fault-injection campaign (src/scenario) -----------------------------
+  // An empty script (the default) constructs no engine, arms no timers, and
+  // leaves every run bit-exactly identical to a scenario-free build — the
+  // same absent-when-off contract as traffic_model == kNone, pinned by the
+  // determinism goldens. A non-empty script is resolved against the topology
+  // at construction (std::abort on a target that matches nothing) and starts
+  // with the experiment.
+  ScenarioScript scenario;
+
   // --- Transport & CC ------------------------------------------------------
   TransportKind transport = TransportKind::kNicSr;
   CcKind cc = CcKind::kDcqcn;
@@ -193,6 +203,10 @@ class Experiment {
   // The deterministic switch-egress-port enumeration the engine drives —
   // also the port order OccupancyRecorder should record for calibration.
   std::vector<Port*> FabricPorts() const;
+
+  // --- Fault injection -----------------------------------------------------
+  // The running chaos engine; null when config().scenario is empty.
+  ScenarioEngine* scenario() { return scenario_.get(); }
 
   // --- Workload helpers ----------------------------------------------------
   // Paper Section 5 grouping: group g contains the g-th host of every ToR,
@@ -251,6 +265,9 @@ class Experiment {
   // Declared last: the engine's destructor clears pressure on ports owned by
   // network_, which must still be alive.
   std::unique_ptr<BackgroundTrafficEngine> traffic_;
+  // After traffic_: the scenario dtor uninstalls gray-fault hooks from ports
+  // owned by network_, which must still be alive.
+  std::unique_ptr<ScenarioEngine> scenario_;
 };
 
 }  // namespace themis

@@ -13,6 +13,9 @@
 #define THEMIS_SRC_CORE_TRACE_DIGEST_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "src/core/experiment.h"
 
@@ -96,6 +99,56 @@ inline uint64_t GoldenTraceHash(Scheme scheme, uint64_t seed, bool pfc = true) {
   uint64_t h = DigestExperiment(exp);
   h = FnvMix(h, result.all_done ? 1 : 0);
   h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+  return h;
+}
+
+// The golden chaos campaign: all four fault classes on the canonical 2x2x2
+// fabric, timed to land inside the allreduce. Fixed/uniform down-times only —
+// the exponential distribution draws through std::log, whose last-bit
+// behaviour belongs to libm, so it stays out of anything hash-pinned.
+inline ScenarioScript ScenarioCampaignScript() {
+  ScenarioScript script;
+  std::string error;
+  if (!ParseScenario(
+          "seed 7\n"
+          "sample-period 20us\n"
+          "flap target=tor0:up0 at=100us down=80us\n"
+          "gray target=spine1:* at=250us duration=200us drop=5e-3 corrupt=5e-3\n"
+          "degrade target=tor1:up0 at=300us duration=150us factor=0.5\n"
+          "reboot target=spine0 at=600us down=uniform:50us:100us\n",
+          &script, &error)) {
+    std::fprintf(stderr, "golden campaign script failed to parse: %s\n", error.c_str());
+    std::abort();
+  }
+  return script;
+}
+
+// Digest of a golden campaign run: the full experiment digest plus every
+// fault record's recovery arithmetic, so scheduling, gray RNG streams,
+// down-time draws, and the RecoveryTracker are all under the pin. The
+// collective is 8x the clean-golden size: the 1 MB run ends near 104 us,
+// before most of the campaign fires; 8 MB (~800 us clean) keeps every fault
+// window inside live traffic.
+inline uint64_t ScenarioCampaignHash() {
+  ExperimentConfig config = DeterminismConfig(Scheme::kThemis, 1);
+  config.scenario = ScenarioCampaignScript();
+  Experiment exp(config);
+  auto result = exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2),
+                                  8 << 20, 10 * kSecond);
+  exp.scenario()->Finalize();
+  uint64_t h = DigestExperiment(exp);
+  h = FnvMix(h, result.all_done ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+  for (const FaultRecord& f : exp.scenario()->tracker().records()) {
+    h = FnvMix(h, static_cast<uint64_t>(f.event_index));
+    h = FnvMix(h, static_cast<uint64_t>(f.kind));
+    h = FnvMix(h, static_cast<uint64_t>(f.applied));
+    h = FnvMix(h, static_cast<uint64_t>(f.cleared));
+    h = FnvMix(h, static_cast<uint64_t>(f.first_drop));
+    h = FnvMix(h, static_cast<uint64_t>(f.recovered));
+    h = FnvMix(h, f.drops_during);
+    h = FnvMix(h, f.victim_flows);
+  }
   return h;
 }
 

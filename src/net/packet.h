@@ -48,6 +48,9 @@ struct Packet {
   PacketType type = PacketType::kData;
   bool ecn_ce = false;          // congestion-experienced mark
   bool retransmission = false;  // set by the sender on retransmits (stats only)
+  bool corrupted = false;       // payload damaged on the wire (gray failure);
+                                // the next CRC check (switch ingress or RNIC)
+                                // counts and drops it
   uint16_t udp_sport = 0;       // entropy field hashed by ECMP
 
   uint32_t flow_id = 0;  // globally unique QP/flow id (one per direction)

@@ -42,6 +42,7 @@ class Port;
 class PacketBurst {
  public:
   static constexpr uint8_t kFlagTypeMask = 0x0F;  // PacketType in the low bits
+  static constexpr uint8_t kFlagCorrupt = 0x20;   // wire-corrupted (gray failure)
   static constexpr uint8_t kFlagControl = 0x40;
   static constexpr uint8_t kFlagConsumed = 0x80;
 
@@ -63,7 +64,8 @@ class PacketBurst {
     flow_id_.push_back(pkt.flow_id);
     wire_bytes_.push_back(pkt.wire_bytes);
     flags_.push_back(static_cast<uint8_t>(static_cast<uint8_t>(pkt.type) & kFlagTypeMask) |
-                     (pkt.IsControl() ? kFlagControl : uint8_t{0}));
+                     (pkt.IsControl() ? kFlagControl : uint8_t{0}) |
+                     (pkt.corrupted ? kFlagCorrupt : uint8_t{0}));
     in_port_.push_back(static_cast<int32_t>(in_port));
   }
 
@@ -79,6 +81,7 @@ class PacketBurst {
 
   bool is_control(size_t i) const { return (flags_[i] & kFlagControl) != 0; }
   bool is_data(size_t i) const { return (flags_[i] & kFlagTypeMask) == 0; }
+  bool is_corrupt(size_t i) const { return (flags_[i] & kFlagCorrupt) != 0; }
   bool consumed(size_t i) const { return (flags_[i] & kFlagConsumed) != 0; }
   void Consume(size_t i) { flags_[i] |= kFlagConsumed; }
 

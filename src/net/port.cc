@@ -61,6 +61,43 @@ bool Port::Send(Packet pkt) {
   return true;
 }
 
+void Port::set_failed(bool failed) {
+  if (failed_ == failed) {
+    return;
+  }
+  failed_ = failed;
+  // Restore must restart transmission: packets queued behind the failed port
+  // are parked (StartNextTransmission bails while failed), and without this
+  // kick they would wait for the next unrelated enqueue on this port.
+  if (!failed_ && !busy_) {
+    StartNextTransmission();
+  }
+}
+
+// Wire-level gray failure: one uniform draw per delivered packet decides
+// lost / corrupted / clean. Shared by the scalar and burst delivery paths so
+// both consume the identical RNG sequence. Returns false when the packet is
+// lost on the wire.
+bool Port::ApplyGrayFault(Packet& pkt) {
+  const double u = gray_->rng.NextDouble();
+  if (u < gray_->drop_prob) {
+    ++gray_->drops;
+    ++stats_.drops;
+    stats_.drop_bytes += pkt.wire_bytes;
+    TracePort(sim_, PortTrace::kDrop, static_cast<uint16_t>(owner_->id()),
+              static_cast<uint8_t>(index_), pkt.flow_id, pkt.wire_bytes,
+              static_cast<uint64_t>(queued_data_bytes_));
+    THEMIS_LOG(LogLevel::kDebug, sim_->now(), "%s port %d: gray drop %s",
+               owner_->name().c_str(), index_, pkt.ToString().c_str());
+    return false;
+  }
+  if (u < gray_->drop_prob + gray_->corrupt_prob) {
+    ++gray_->corrupts;
+    pkt.corrupted = true;
+  }
+  return true;
+}
+
 void Port::SetPaused(bool paused) {
   if (paused && !paused_) {
     ++stats_.pause_transitions;
@@ -81,6 +118,12 @@ void Port::SetPaused(bool paused) {
 }
 
 void Port::StartNextTransmission() {
+  if (failed_) {
+    // Park: hold queued packets through the outage (the switch buffer keeps
+    // them); set_failed(false) restarts the loop.
+    busy_ = false;
+    return;
+  }
   Packet pkt;
   if (!control_queue_.empty()) {
     pkt = control_queue_.front();
@@ -106,6 +149,15 @@ void Port::StartNextTransmission() {
   }
 
   TimePs serialization = rate_.SerializationTime(pkt.wire_bytes);
+  // Asymmetric link degradation (scenario engine): the physical link runs at
+  // factor * rate for the fault window, so every packet's serialization slot
+  // stretches by 1/factor — Q16 integer math, zero-cost and bit-identical
+  // when no degradation is active. Applies to control packets too: the wire
+  // itself is slow, not one traffic class.
+  if (degrade_q16_ != 0) {
+    serialization += static_cast<TimePs>(
+        (static_cast<uint64_t>(serialization) * degrade_q16_) >> 16);
+  }
   // Serialization-slot stealing (hybrid fidelity): modelled background
   // traffic shares the wire, so a data packet's effective service time is
   // x/(1-rho) — computed in Q16 integer math (bg_steal_q16_ = rho/(1-rho)
@@ -132,7 +184,7 @@ void Port::StartNextTransmission() {
 }
 
 void Port::DeliverHeadInFlight() {
-  const Packet pkt = in_flight_.front();
+  Packet pkt = in_flight_.front();
   in_flight_.pop_front();
   if (failed_) {
     // The link died while the packet was in flight: account it like the
@@ -146,11 +198,15 @@ void Port::DeliverHeadInFlight() {
                owner_->name().c_str(), index_, pkt.ToString().c_str());
     return;
   }
+  if (gray_ != nullptr && !ApplyGrayFault(pkt)) {
+    return;
+  }
   peer_->ReceivePacket(pkt, peer_port_);
 }
 
 void Port::GatherHeadInFlight(PacketBurst& burst) {
-  const Packet& pkt = in_flight_.front();
+  Packet pkt = in_flight_.front();
+  in_flight_.pop_front();
   if (failed_) {
     ++stats_.drops;
     stats_.drop_bytes += pkt.wire_bytes;
@@ -159,10 +215,12 @@ void Port::GatherHeadInFlight(PacketBurst& burst) {
               static_cast<uint64_t>(queued_data_bytes_));
     THEMIS_LOG(LogLevel::kDebug, sim_->now(), "%s port %d: in-flight drop %s",
                owner_->name().c_str(), index_, pkt.ToString().c_str());
-  } else {
-    burst.Append(pkt, peer_port_);
+    return;
   }
-  in_flight_.pop_front();
+  if (gray_ != nullptr && !ApplyGrayFault(pkt)) {
+    return;
+  }
+  burst.Append(pkt, peer_port_);
 }
 
 size_t Port::DispatchBurst(Simulator& sim, const uint64_t* tags, size_t n) {

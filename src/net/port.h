@@ -16,9 +16,24 @@
 #include "src/net/packet.h"
 #include "src/net/packet_queue.h"
 #include "src/net/pause_log.h"
+#include "src/sim/random.h"
 #include "src/sim/simulator.h"
 
 namespace themis {
+
+// A gray failure on one link (scenario engine): every delivered packet is
+// independently dropped or corrupted at a low rate. The state is owned by the
+// ScenarioEngine and attached to a Port for the fault window; the RNG is a
+// private per-port stream (MixSeed-derived), so draws never touch the
+// simulator RNG and the outcome is identical in burst and scalar mode and
+// across sweep thread counts.
+struct GrayFault {
+  Rng rng;
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+  uint64_t drops = 0;     // packets silently lost on this link
+  uint64_t corrupts = 0;  // packets delivered damaged (CRC-dropped downstream)
+};
 
 struct PortStats {
   uint64_t tx_packets = 0;
@@ -85,10 +100,31 @@ class Port {
   // buffer accounting).
   bool Send(Packet pkt);
 
-  // Administratively fails/restores the link; a failed port blackholes all
-  // traffic handed to it (used by the Section 6 failure-tolerance path).
-  void set_failed(bool failed) { failed_ = failed; }
+  // Administratively fails/restores the link. A failed port drops packets
+  // handed to it and packets completing their flight; packets already queued
+  // stay parked (the switch buffer holds them through the outage) and resume
+  // transmission on restore — restoring kicks StartNextTransmission so parked
+  // packets do not wait for the next unrelated enqueue.
+  void set_failed(bool failed);
   bool failed() const { return failed_; }
+
+  // --- Scenario-engine fault hooks (src/scenario) ---------------------------
+  // Gray failure: while non-null, every delivery draws from `gray`'s private
+  // RNG to drop or corrupt the packet. Null (the default) costs one pointer
+  // check on the delivery path and changes nothing.
+  void set_gray_fault(GrayFault* gray) { gray_ = gray; }
+  GrayFault* gray_fault() const { return gray_; }
+
+  // Asymmetric degradation: temporarily scales this link's effective rate by
+  // `factor` (0 < factor <= 1) by stretching serialization slots in Q16
+  // integer math, like the hybrid engine's slot stealing. factor >= 1 (or
+  // exactly 1.0) clears it; zero-cost and bit-identical when clear.
+  void set_degrade_factor(double factor) {
+    degrade_q16_ = (factor > 0.0 && factor < 1.0)
+                       ? static_cast<uint64_t>((1.0 / factor - 1.0) * 65536.0 + 0.5)
+                       : 0;
+  }
+  bool degraded() const { return degrade_q16_ != 0; }
 
   // PFC pause state for the data traffic class. While paused the port keeps
   // serving the (lossless-priority) control queue but holds data packets.
@@ -161,6 +197,10 @@ class Port {
   static uint64_t TagKind(uint64_t tag) { return tag & kPortTagKindMask; }
 
   void StartNextTransmission();
+  // Gray-failure draw for one delivered packet (drop / corrupt-in-place /
+  // clean); shared by the scalar and burst delivery paths. Call only with
+  // gray_ attached. Returns false when the packet is lost on the wire.
+  bool ApplyGrayFault(Packet& pkt);
   void DeliverHeadInFlight();
   // Pops the head in-flight packet into `burst` (or drop-accounts it on a
   // failed link, like DeliverHeadInFlight). The burst gather path.
@@ -196,6 +236,11 @@ class Port {
   // model drives this port.
   int64_t exo_bytes_ = 0;
   uint64_t bg_steal_q16_ = 0;
+  // Scenario-engine faults: Q16 serialization stretch (1/factor - 1) for
+  // asymmetric degradation, and the attached gray-failure state. Both inert
+  // (zero / null) unless a ScenarioEngine drives this port.
+  uint64_t degrade_q16_ = 0;
+  GrayFault* gray_ = nullptr;
 
   EcnProfile ecn_{.enabled = false};
   PortStats stats_;

@@ -3,11 +3,21 @@
 #include <cassert>
 
 #include "src/sim/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace themis {
 
 void RnicHost::ReceivePacket(const Packet& pkt, int in_port) {
   (void)in_port;
+  // NIC CRC check: a packet corrupted on the last hop (gray failure) is
+  // counted and dropped before any QP sees it — never silently delivered.
+  // The sender recovers through the normal loss machinery (NACK/RTO).
+  if (pkt.corrupted) {
+    ++host_stats_.corrupt_rx;
+    TraceRnic(sim(), RnicTrace::kCorruptRx, static_cast<uint16_t>(id()), pkt.flow_id,
+              pkt.psn, pkt.wire_bytes);
+    return;
+  }
   switch (pkt.type) {
     case PacketType::kData: {
       ReceiverQp* qp = receiver_qp(pkt.flow_id);

@@ -27,6 +27,7 @@ namespace themis {
 struct RnicHostStats {
   uint64_t unknown_flow_drops = 0;
   uint64_t control_packets_sent = 0;
+  uint64_t corrupt_rx = 0;  // wire-corrupted arrivals CRC-dropped by the NIC
 };
 
 class RnicHost : public Node {

@@ -1,0 +1,139 @@
+#include "src/scenario/recovery_tracker.h"
+
+#include <algorithm>
+
+#include "src/telemetry/trace.h"
+
+namespace themis {
+
+double RecoveryTracker::BaselineMean() const {
+  if (baseline_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : baseline_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(baseline_.size());
+}
+
+void RecoveryTracker::Tick(TimePs now, uint64_t delivered_bytes_total,
+                           uint64_t drops_total) {
+  if (!have_last_) {
+    have_last_ = true;
+    last_delivered_ = delivered_bytes_total;
+    last_drops_ = drops_total;
+    return;
+  }
+  const uint64_t delta_bytes = delivered_bytes_total - last_delivered_;
+  const uint64_t delta_drops = drops_total - last_drops_;
+  last_delivered_ = delivered_bytes_total;
+  last_drops_ = drops_total;
+
+  if (AnyFaultOpen()) {
+    for (FaultRecord& record : records_) {
+      if (record.cleared >= 0) {
+        continue;
+      }
+      record.drops_during += delta_drops;
+      if (delta_drops > 0 && record.first_drop < 0) {
+        record.first_drop = now;
+        if (sim_ != nullptr) {
+          TraceScenario(sim_, ScenarioTrace::kFirstDrop,
+                        static_cast<uint64_t>(&record - records_.data()));
+        }
+      }
+    }
+  } else {
+    // Healthy tick: feed the baseline ring.
+    if (baseline_.size() < static_cast<size_t>(config_.baseline_ticks)) {
+      baseline_.push_back(static_cast<double>(delta_bytes));
+    } else if (!baseline_.empty()) {
+      baseline_[baseline_next_] = static_cast<double>(delta_bytes);
+      baseline_next_ = (baseline_next_ + 1) % baseline_.size();
+    }
+  }
+
+  // Advance cleared-but-not-recovered records. A fault with no baseline
+  // (injected before any healthy tick) recovers at clear time — there is no
+  // reference level to wait for.
+  for (size_t i = 0; i < settling_.size();) {
+    FaultRecord& record = records_[settling_[i]];
+    const double threshold = config_.restore_fraction * record.baseline_goodput;
+    if (static_cast<double>(delta_bytes) >= threshold) {
+      ++good_ticks_[i];
+    } else {
+      good_ticks_[i] = 0;
+    }
+    if (good_ticks_[i] >= config_.settle_ticks) {
+      record.recovered = now;
+      ++faults_recovered_;
+      if (sim_ != nullptr) {
+        TraceScenario(sim_, ScenarioTrace::kRecovered, settling_[i],
+                      record.RecoveryTimePs() >= 0
+                          ? static_cast<uint64_t>(record.RecoveryTimePs())
+                          : 0);
+      }
+      settling_[i] = settling_.back();
+      settling_.pop_back();
+      good_ticks_[i] = good_ticks_.back();
+      good_ticks_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+size_t RecoveryTracker::OnFaultApplied(int event_index, int occurrence, FaultKind kind,
+                                       TimePs now) {
+  FaultRecord record;
+  record.event_index = event_index;
+  record.occurrence = occurrence;
+  record.kind = kind;
+  record.applied = now;
+  record.baseline_goodput = BaselineMean();
+  records_.push_back(record);
+  ++open_faults_;
+  ++faults_applied_;
+  if (sim_ != nullptr) {
+    TraceScenario(sim_, ScenarioTrace::kFaultApplied,
+                  static_cast<uint64_t>(event_index), static_cast<uint64_t>(occurrence));
+  }
+  return records_.size() - 1;
+}
+
+void RecoveryTracker::OnFaultCleared(size_t record_id, TimePs now) {
+  FaultRecord& record = records_[record_id];
+  if (record.cleared >= 0) {
+    return;
+  }
+  record.cleared = now;
+  --open_faults_;
+  if (sim_ != nullptr) {
+    TraceScenario(sim_, ScenarioTrace::kFaultCleared,
+                  static_cast<uint64_t>(record.event_index),
+                  static_cast<uint64_t>(record.occurrence));
+  }
+  if (record.baseline_goodput <= 0.0) {
+    record.recovered = now;
+    ++faults_recovered_;
+    if (sim_ != nullptr) {
+      TraceScenario(sim_, ScenarioTrace::kRecovered, record_id, 0);
+    }
+    return;
+  }
+  settling_.push_back(record_id);
+  good_ticks_.push_back(0);
+}
+
+void RecoveryTracker::AddVictims(size_t record_id, uint64_t victims) {
+  records_[record_id].victim_flows += victims;
+}
+
+void RecoveryTracker::Finalize(TimePs now) {
+  (void)now;
+  settling_.clear();
+  good_ticks_.clear();
+}
+
+}  // namespace themis

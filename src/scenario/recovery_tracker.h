@@ -1,0 +1,116 @@
+// RecoveryTracker: per-fault recovery-time telemetry.
+//
+// The tracker is pure arithmetic over two monotone probes — total delivered
+// bytes and total drops — sampled at a fixed cadence by the ScenarioEngine.
+// While no fault is open it maintains a ring of recent goodput-per-tick
+// samples as the healthy baseline. For each fault occurrence it records
+//
+//   applied     when the engine injected the fault,
+//   first_drop  the first probe tick whose drop delta is attributable to an
+//               open fault,
+//   cleared     when the engine removed it,
+//   recovered   the first post-clear tick at which goodput has been at or
+//               above restore_fraction x baseline for settle_ticks
+//               consecutive ticks,
+//
+// and derives recovery time = recovered - first_drop (the paper-style
+// outage-impact window: first damage to goodput restored). Victim-flow
+// counts are filled in by the engine, which can see per-QP retransmission
+// state; the tracker itself has no model dependencies, so unit tests drive
+// it with hand-written probe sequences and a null Simulator.
+
+#ifndef THEMIS_SRC_SCENARIO_RECOVERY_TRACKER_H_
+#define THEMIS_SRC_SCENARIO_RECOVERY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/scenario/scenario_script.h"
+#include "src/sim/time.h"
+
+namespace themis {
+
+class Simulator;
+
+struct FaultRecord {
+  int event_index = 0;  // index into ScenarioScript::events
+  int occurrence = 0;   // repeat ordinal for that event
+  FaultKind kind = FaultKind::kLinkFlap;
+  TimePs applied = 0;
+  TimePs cleared = -1;     // -1: still open at Finalize
+  TimePs first_drop = -1;  // -1: no drop observed while open
+  TimePs recovered = -1;   // -1: goodput never re-settled before Finalize
+  uint64_t drops_during = 0;  // drop delta accrued while the fault was open
+  uint64_t victim_flows = 0;  // flows that retransmitted/timed out (engine)
+  double baseline_goodput = 0.0;  // healthy bytes/tick mean at apply time
+
+  // First damage -> goodput restored; -1 when the run ended mid-recovery.
+  // Damage starts at the first attributed drop, or at the injection itself
+  // when the fault drops nothing (a flap parks queued packets on the failed
+  // port — the damage is RTO stalls, which begin at apply time).
+  TimePs RecoveryTimePs() const {
+    if (recovered < 0) {
+      return -1;
+    }
+    return recovered - (first_drop >= 0 ? first_drop : applied);
+  }
+};
+
+class RecoveryTracker {
+ public:
+  struct Config {
+    TimePs sample_period = 20 * kMicrosecond;
+    double restore_fraction = 0.9;
+    int settle_ticks = 2;    // consecutive good ticks before "recovered"
+    int baseline_ticks = 8;  // healthy-sample ring size
+  };
+
+  // `sim` may be null (unit tests): trace emission is skipped, arithmetic
+  // is unchanged.
+  RecoveryTracker(Simulator* sim, const Config& config) : sim_(sim), config_(config) {}
+
+  // Probe tick. Both arguments are monotone totals; the tracker differences
+  // them internally.
+  void Tick(TimePs now, uint64_t delivered_bytes_total, uint64_t drops_total);
+
+  // Fault lifecycle, driven by the ScenarioEngine. Returns the record id.
+  size_t OnFaultApplied(int event_index, int occurrence, FaultKind kind, TimePs now);
+  void OnFaultCleared(size_t record_id, TimePs now);
+  void AddVictims(size_t record_id, uint64_t victims);
+
+  // Run end: freeze unresolved records (cleared/recovered stay -1).
+  void Finalize(TimePs now);
+
+  const std::vector<FaultRecord>& records() const { return records_; }
+  size_t open_faults() const { return open_faults_; }
+  uint64_t faults_applied() const { return faults_applied_; }
+  uint64_t faults_recovered() const { return faults_recovered_; }
+
+ private:
+  bool AnyFaultOpen() const { return open_faults_ > 0; }
+  double BaselineMean() const;
+
+  Simulator* sim_;  // trace emission only; may be null
+  Config config_;
+
+  std::vector<FaultRecord> records_;
+  size_t open_faults_ = 0;
+  uint64_t faults_applied_ = 0;
+  uint64_t faults_recovered_ = 0;
+
+  bool have_last_ = false;
+  uint64_t last_delivered_ = 0;
+  uint64_t last_drops_ = 0;
+
+  std::vector<double> baseline_;  // bytes/tick ring, healthy ticks only
+  size_t baseline_next_ = 0;
+
+  // Records cleared but not yet recovered; parallel consecutive-good-tick
+  // counters.
+  std::vector<size_t> settling_;
+  std::vector<int> good_ticks_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_SCENARIO_RECOVERY_TRACKER_H_

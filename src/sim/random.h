@@ -21,6 +21,17 @@ constexpr uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Stable per-(stream, draw) seed derivation from a root seed. Used wherever
+// a component needs many independent Rng streams whose outputs must not
+// depend on construction or scheduling order (workload generation, background
+// traffic, scenario fault campaigns): stream s, draw k always gets the same
+// seed for a given root.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t index) {
+  uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  state ^= SplitMix64(state) + 0x94D049BB133111EBULL * (index + 1);
+  return SplitMix64(state);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5EEDULL) { Seed(seed); }

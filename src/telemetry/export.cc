@@ -68,6 +68,8 @@ const char* TraceEventName(TraceCategory category, uint8_t code) {
           return "rnic.nack_tx";
         case RnicTrace::kAckTx:
           return "rnic.ack_tx";
+        case RnicTrace::kCorruptRx:
+          return "rnic.corrupt_rx";
       }
       break;
     case TraceCategory::kThemis:
@@ -114,6 +116,18 @@ const char* TraceEventName(TraceCategory category, uint8_t code) {
       switch (static_cast<TrafficTrace>(code)) {
         case TrafficTrace::kEpochUpdate:
           return "traffic.epoch_update";
+      }
+      break;
+    case TraceCategory::kScenario:
+      switch (static_cast<ScenarioTrace>(code)) {
+        case ScenarioTrace::kFaultApplied:
+          return "scenario.fault_applied";
+        case ScenarioTrace::kFaultCleared:
+          return "scenario.fault_cleared";
+        case ScenarioTrace::kFirstDrop:
+          return "scenario.first_drop";
+        case ScenarioTrace::kRecovered:
+          return "scenario.recovered";
       }
       break;
     case TraceCategory::kCount:

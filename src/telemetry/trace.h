@@ -43,7 +43,8 @@ enum class TraceCategory : uint8_t {
   kThemis = 2,  // Themis-D flow table, ring queue, NACK verdicts
   kCc = 3,      // congestion-control rate updates
   kTraffic = 4,  // background-load engine epoch updates (hybrid fidelity)
-  kCount = 5,
+  kScenario = 5,  // chaos-engine fault lifecycle (apply/clear/recover)
+  kCount = 6,
 };
 
 constexpr const char* TraceCategoryName(TraceCategory category) {
@@ -58,6 +59,8 @@ constexpr const char* TraceCategoryName(TraceCategory category) {
       return "cc";
     case TraceCategory::kTraffic:
       return "traffic";
+    case TraceCategory::kScenario:
+      return "scenario";
     case TraceCategory::kCount:
       break;
   }
@@ -91,6 +94,7 @@ enum class RnicTrace : uint8_t {
   kTimeout = 5,     // RTO fired; a = snd_una
   kNackTx = 6,      // receiver emitted a NACK; a = ePSN, b = OOO-bitmap size
   kAckTx = 7,       // receiver emitted an ACK; a = ePSN, b = OOO-bitmap size
+  kCorruptRx = 8,   // wire-corrupted arrival CRC-dropped; a = psn, b = bytes
 };
 
 enum class ThemisTrace : uint8_t {
@@ -117,6 +121,14 @@ enum class CcTrace : uint8_t {
 
 enum class TrafficTrace : uint8_t {
   kEpochUpdate = 0,  // background epoch applied; a = total exo bytes, b = epoch
+};
+
+enum class ScenarioTrace : uint8_t {
+  kFaultApplied = 0,  // fault occurrence began; a = event index, b = occurrence
+  kFaultCleared = 1,  // fault occurrence ended; a = event index, b = occurrence
+  kFirstDrop = 2,     // first drop attributed to an open fault; a = record id
+  kRecovered = 3,     // goodput back above the restore fraction; a = record id,
+                      // b = recovery time ps (first drop -> recovered)
 };
 
 // One ring record. 40 bytes; `a` and `b` carry per-code payload documented
@@ -256,6 +268,11 @@ inline void TraceCc(Simulator* sim, CcTrace code, uint16_t node, uint32_t flow_i
 
 inline void TraceTraffic(Simulator* sim, TrafficTrace code, uint64_t a = 0, uint64_t b = 0) {
   TraceRecord(sim, TraceCategory::kTraffic, static_cast<uint8_t>(code), 0, 0, 0, a, b);
+}
+
+inline void TraceScenario(Simulator* sim, ScenarioTrace code, uint64_t a = 0,
+                          uint64_t b = 0) {
+  TraceRecord(sim, TraceCategory::kScenario, static_cast<uint8_t>(code), 0, 0, 0, a, b);
 }
 
 // Human-readable name for (category, code); shared by the exporters.

@@ -89,6 +89,15 @@ void ThemisDeployment::HandleLinkFailure() {
   ApplySprayPolicy();
 }
 
+void ThemisDeployment::FlushSwitchState(const Switch* sw) {
+  for (size_t i = 0; i < topo_->tors.size(); ++i) {
+    if (topo_->tors[i] == sw && i < d_hooks_.size()) {
+      d_hooks_[i]->ResetFlowState();
+      return;
+    }
+  }
+}
+
 void ThemisDeployment::HandleLinkRecovery() {
   degraded_ = false;
   // PSNs observed during the ECMP fallback were not sprayed by Eq. 1;

@@ -44,6 +44,12 @@ class ThemisDeployment {
   void HandleLinkRecovery();
   bool degraded() const { return degraded_; }
 
+  // Scenario engine, switch reboot: a rebooting ToR loses its dataplane
+  // registers, so drop that switch's Themis-D flow state (PSN rings, BePSN
+  // cursors). Tallies and telemetry registrations survive, like
+  // ResetFlowState. No-op when `sw` hosts no Themis-D (e.g. a spine).
+  void FlushSwitchState(const Switch* sw);
+
   // Aggregate Themis-D statistics across all ToRs.
   ThemisDStats AggregateDStats() const;
   const std::vector<std::unique_ptr<ThemisD>>& d_hooks() const { return d_hooks_; }

@@ -14,6 +14,12 @@ void SwitchHook::OnIngressBurst(Switch& sw, PacketBurst& burst) {
 }
 
 void Switch::ReceivePacket(const Packet& pkt, int in_port) {
+  // Ingress CRC check: a wire-corrupted packet (gray failure) is counted and
+  // dropped before any match-action stage sees it, as real switch MACs do.
+  if (pkt.corrupted) {
+    ++stats_.corrupt_drops;
+    return;
+  }
   Packet mutable_pkt = pkt;
   // Re-home the buffer attribution to this switch's ingress.
   mutable_pkt.sim_ingress = in_port;
@@ -177,9 +183,16 @@ void Switch::ReceiveBurst(PacketBurst& burst) {
   }
   const size_t n = burst.size();
   // Re-home buffer attribution once for the whole burst (scalar does this
-  // per packet before the hooks run).
+  // per packet before the hooks run). The ingress CRC pre-pass consumes
+  // wire-corrupted packets (gray failure) before any hook stage, mirroring
+  // the scalar path's drop-before-hooks position; stage 3 tells these apart
+  // from hook consumption via the corrupt flag column.
   for (size_t i = 0; i < n; ++i) {
     burst.packet(i).sim_ingress = burst.in_port(i);
+    if (burst.is_corrupt(i)) {
+      ++stats_.corrupt_drops;
+      burst.Consume(i);
+    }
   }
   // Stage 1: the stageable hook prefix runs as whole-burst column loops.
   // Legal because stageable hooks are pure per-packet rewrites — hoisting
@@ -204,7 +217,11 @@ void Switch::ReceiveBurst(PacketBurst& burst) {
   // allocations happen here, exactly as the scalar path interleaves them).
   for (size_t i = 0; i < n; ++i) {
     if (burst.consumed(i)) {
-      ++stats_.consumed_by_hook;
+      // CRC pre-pass drops were already counted as corrupt_drops, not hook
+      // consumption (scalar parity: hooks never see corrupted packets).
+      if (!burst.is_corrupt(i)) {
+        ++stats_.consumed_by_hook;
+      }
       continue;
     }
     burst.PrefetchPacket(i + 1);

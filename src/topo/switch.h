@@ -60,6 +60,7 @@ struct SwitchStats {
   uint64_t forwarded = 0;
   uint64_t consumed_by_hook = 0;
   uint64_t no_route_drops = 0;
+  uint64_t corrupt_drops = 0;  // ingress CRC check failed (gray failure)
   uint64_t pfc_pauses_sent = 0;
   uint64_t pfc_resumes_sent = 0;
 };

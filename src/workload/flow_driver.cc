@@ -175,7 +175,13 @@ FctWorkloadResult RunFctWorkloadEx(const ExperimentConfig& exp_config,
   FlowDriver driver(&exp, std::move(flows));
   driver.Post();
   exp.sim().RunUntil(options.deadline);
+  if (exp.scenario() != nullptr) {
+    exp.scenario()->Finalize();
+  }
   FctWorkloadResult result = driver.Collect();
+  if (exp.scenario() != nullptr) {
+    result.scenario_faults = exp.scenario()->tracker().records();
+  }
   if (recorder != nullptr) {
     recorder->Stop();
     *options.calibration = recorder->Harvest();

@@ -62,6 +62,11 @@ struct FctWorkloadResult {
   uint64_t trace_events = 0;
   uint64_t trace_overwritten = 0;
 
+  // Chaos campaign (empty unless ExperimentConfig::scenario is set): one
+  // record per injected fault occurrence, with recovery-time endpoints,
+  // drop counts, and victim-flow tallies (see RecoveryTracker).
+  std::vector<FaultRecord> scenario_faults;
+
   // Slowdowns of completed *foreground* flows, record order.
   std::vector<double> Slowdowns() const;
 };

@@ -71,13 +71,6 @@ struct FlowSpec {
   bool background = false;
 };
 
-// Stable per-(stream, draw) seed derivation from the experiment seed.
-inline uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t index) {
-  uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
-  state ^= SplitMix64(state) + 0x94D049BB133111EBULL * (index + 1);
-  return SplitMix64(state);
-}
-
 // Generates the open-loop flow list for `spec` over `num_hosts` hosts with
 // edge links of `edge_rate`. Sorted by (start_time, src, dst, bytes); the
 // index field reflects the sorted order.

@@ -160,6 +160,69 @@ TEST(DeterminismTest, FluidBackgroundActuallyPerturbsTheRun) {
   EXPECT_NE(h, g.hash);
 }
 
+TEST(DeterminismTest, ScenarioOffLeavesEveryGoldenUnchanged) {
+  // The chaos engine must be bit-exactly absent when no scenario is
+  // configured: an empty script builds no engine, arms no timers, and leaves
+  // the delivery hot path untouched (gray_ == nullptr, degrade_q16_ == 0 on
+  // every port), so the event and RNG sequences are identical to a
+  // pre-scenario build. Every golden must hold with the knob set explicitly.
+  for (const Golden& g : kGoldens) {
+    ExperimentConfig config = DeterminismConfig(g.scheme, g.seed, g.pfc);
+    config.scenario = ScenarioScript{};
+    Experiment exp(config);
+    EXPECT_EQ(exp.scenario(), nullptr);
+    auto result = exp.RunCollective(CollectiveKind::kAllreduce,
+                                    exp.MakeCrossRackGroups(2), 1 << 20, 10 * kSecond);
+    uint64_t h = DigestExperiment(exp);
+    h = FnvMix(h, result.all_done ? 1 : 0);
+    h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+    EXPECT_EQ(h, g.hash) << SchemeName(g.scheme) << " seed=" << g.seed
+                         << " (scenario off)";
+  }
+}
+
+// Fixed-seed campaign golden: the whole chaos pipeline — event scheduling,
+// per-port gray streams, down-time draws, recovery arithmetic — reproduces
+// this trace hash bit-for-bit (campaign defined by ScenarioCampaignScript()
+// in trace_digest.h). Regenerated by the regen-goldens target alongside the
+// main table.
+// SCENARIO-GOLDEN-BEGIN
+constexpr uint64_t kScenarioCampaignGolden = 0xF8C8E412C36D9813ULL;
+// SCENARIO-GOLDEN-END
+
+TEST(DeterminismTest, ScenarioCampaignReproducesPinnedGolden) {
+  EXPECT_EQ(ScenarioCampaignHash(), kScenarioCampaignGolden);
+}
+
+TEST(DeterminismTest, ScenarioCampaignActuallyPerturbsTheRun) {
+  // Complement of the scenario-off golden: with a campaign injected the
+  // digest must *differ* from the clean golden — faults are live, not no-ops.
+  const Golden* themis_golden = nullptr;
+  for (const Golden& g : kGoldens) {
+    if (g.scheme == Scheme::kThemis && g.seed == 1 && g.pfc) {
+      themis_golden = &g;
+    }
+  }
+  ASSERT_NE(themis_golden, nullptr);
+  ExperimentConfig config = DeterminismConfig(Scheme::kThemis, 1);
+  // An early flap: the clean 1 MB golden run ends near 104 us, so the fault
+  // must land well inside that to provably perturb the digest.
+  std::string error;
+  ASSERT_TRUE(ParseScenario("seed 7\nsample-period 20us\n"
+                            "flap target=tor0:up0 at=30us down=50us\n",
+                            &config.scenario, &error))
+      << error;
+  Experiment exp(config);
+  ASSERT_NE(exp.scenario(), nullptr);
+  auto result = exp.RunCollective(CollectiveKind::kAllreduce, exp.MakeCrossRackGroups(2),
+                                  1 << 20, 10 * kSecond);
+  uint64_t h = DigestExperiment(exp);
+  h = FnvMix(h, result.all_done ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(result.tail_completion));
+  EXPECT_NE(h, themis_golden->hash);
+  EXPECT_GT(exp.scenario()->stats().faults_applied, 0u);
+}
+
 TEST(DeterminismTest, TelemetryAttachmentIsInvisibleInTraceHashes) {
   // The sampler schedules periodic timer events and the sink records every
   // hot-path event; neither may perturb the model. Goldens must still hold.

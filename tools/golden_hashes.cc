@@ -60,6 +60,10 @@ int Main() {
     std::fflush(stdout);
   }
   std::printf("};\n");
+  // The scenario campaign golden (spliced between the SCENARIO-GOLDEN
+  // markers) pins the chaos engine's full pipeline on the same fabric.
+  std::printf("constexpr uint64_t kScenarioCampaignGolden = 0x%016llXULL;\n",
+              static_cast<unsigned long long>(ScenarioCampaignHash()));
   return 0;
 }
 

@@ -24,16 +24,29 @@ import sys
 
 BEGIN = "// GOLDEN-TABLE-BEGIN"
 END = "// GOLDEN-TABLE-END"
+SCN_BEGIN = "// SCENARIO-GOLDEN-BEGIN"
+SCN_END = "// SCENARIO-GOLDEN-END"
+SCN_LINE = "constexpr uint64_t kScenarioCampaignGolden"
 
 
-def splice(text: str, rows: str) -> str:
-    begin = text.index(BEGIN)
-    end = text.index(END)
+def splice_between(text: str, begin_marker: str, end_marker: str,
+                   replacement: str) -> str:
+    begin = text.index(begin_marker)
+    end = text.index(end_marker)
     if end < begin:
-        raise SystemExit("golden table markers out of order")
+        raise SystemExit(f"{begin_marker} markers out of order")
     head = text[: text.index("\n", begin) + 1]
     tail = text[end:]
-    return head + rows + tail
+    return head + replacement + tail
+
+
+def splice(text: str, output: str) -> str:
+    # The tool prints the golden table followed by the scenario-campaign
+    # constant; split on the constant's declaration line.
+    scn_at = output.index(SCN_LINE)
+    rows, scn = output[:scn_at], output[scn_at:]
+    text = splice_between(text, BEGIN, END, rows)
+    return splice_between(text, SCN_BEGIN, SCN_END, scn)
 
 
 def main() -> int:
@@ -48,15 +61,18 @@ def main() -> int:
 
     test_path = pathlib.Path(args.test_file)
     old = test_path.read_text()
-    if BEGIN not in old or END not in old:
-        raise SystemExit(f"{test_path}: golden table markers not found")
+    for marker in (BEGIN, END, SCN_BEGIN, SCN_END):
+        if marker not in old:
+            raise SystemExit(f"{test_path}: marker {marker} not found")
 
-    rows = subprocess.run([args.tool], check=True, capture_output=True,
-                          text=True).stdout
-    if not rows.strip():
+    output = subprocess.run([args.tool], check=True, capture_output=True,
+                            text=True).stdout
+    if not output.strip():
         raise SystemExit(f"{args.tool} produced no output")
+    if SCN_LINE not in output:
+        raise SystemExit(f"{args.tool}: no scenario golden in output")
 
-    new = splice(old, rows)
+    new = splice(old, output)
     diff = list(difflib.unified_diff(old.splitlines(keepends=True),
                                      new.splitlines(keepends=True),
                                      fromfile=str(test_path),
