@@ -44,6 +44,9 @@ struct CliOptions {
   int64_t traffic_epoch_us = 5;
   uint64_t seed = 1;
   uint64_t max_flows = 0;
+  uint64_t themis_flow_capacity = 0;
+  EvictionPolicy themis_aging = EvictionPolicy::kNone;
+  int64_t themis_idle_timeout_us = 0;
   std::string scenario;  // preset name or script path; empty = no faults
   bool pfc = true;
   bool compensation = true;
@@ -76,6 +79,12 @@ struct CliOptions {
       "                       gray-spine) or a .scn script file (see examples/scenarios/)\n"
       "  --seed=N             RNG seed (default 1)\n"
       "  --max-flows=N        truncate the generated flow list (default: no cap)\n"
+      "  --themis-flow-capacity=N  bound each ToR's Themis-D flow table to N register-\n"
+      "                       array entries (default 0 = unbounded, the paper's §4\n"
+      "                       provisioned case)\n"
+      "  --themis-aging=none|lru|idle  reclamation policy for a bounded table\n"
+      "                       (default none: a full table refuses new flows)\n"
+      "  --themis-idle-timeout-us=N  idle aging threshold for --themis-aging=idle\n"
       "  --no-pfc             disable priority flow control\n"
       "  --no-burst           scalar event dispatch (same as THEMIS_BURST=0; A/B, bisection)\n"
       "  --no-compensation    disable Themis NACK compensation\n"
@@ -201,6 +210,21 @@ CliOptions Parse(int argc, char** argv) {
       opts.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(arg, "--max-flows", &value)) {
       opts.max_flows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(arg, "--themis-flow-capacity", &value)) {
+      opts.themis_flow_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(arg, "--themis-aging", &value)) {
+      if (value == "none") {
+        opts.themis_aging = EvictionPolicy::kNone;
+      } else if (value == "lru") {
+        opts.themis_aging = EvictionPolicy::kLruClock;
+      } else if (value == "idle") {
+        opts.themis_aging = EvictionPolicy::kIdleTimeout;
+      } else {
+        std::fprintf(stderr, "unknown aging policy '%s'\n", value.c_str());
+        Usage(1);
+      }
+    } else if (ParseValue(arg, "--themis-idle-timeout-us", &value)) {
+      opts.themis_idle_timeout_us = std::atoll(value.c_str());
     } else if (ParseValue(arg, "--csv", &value)) {
       opts.csv_path = value;
     } else if (ParseValue(arg, "--trace", &value)) {
@@ -267,6 +291,9 @@ int main(int argc, char** argv) {
   config.pfc_enabled = opts.pfc;
   config.themis_compensation = opts.compensation;
   config.themis_pause_grace = opts.grace;
+  config.themis_flow_capacity = static_cast<size_t>(opts.themis_flow_capacity);
+  config.themis_aging = opts.themis_aging;
+  config.themis_idle_timeout = opts.themis_idle_timeout_us * kMicrosecond;
   config.traffic_model = opts.traffic_model;
   config.background_load = opts.background_load;
   config.traffic_burstiness = opts.traffic_burstiness;
@@ -348,6 +375,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.themis.nacks_forwarded_genuine),
                 static_cast<unsigned long long>(result.themis.nacks_forwarded_unmatched),
                 static_cast<unsigned long long>(result.themis.compensated_nacks));
+    if (opts.themis_flow_capacity > 0) {
+      std::printf("flow table:         cap %llu/ToR (%s), %llu evicted, %llu aged out, "
+                  "%llu rejected, %llu grace + %llu compensations resolved at eviction\n",
+                  static_cast<unsigned long long>(opts.themis_flow_capacity),
+                  EvictionPolicyName(opts.themis_aging),
+                  static_cast<unsigned long long>(result.themis.flows_evicted),
+                  static_cast<unsigned long long>(result.themis.flows_aged_out),
+                  static_cast<unsigned long long>(result.themis.flows_rejected),
+                  static_cast<unsigned long long>(result.themis.grace_evicted),
+                  static_cast<unsigned long long>(result.themis.compensations_evicted));
+    }
   }
   if (!result.scenario_faults.empty()) {
     std::printf("scenario:           %zu fault(s) injected (%s)\n",

@@ -166,6 +166,12 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config), sim_(c
       themis_config.themis_d.grace_slack_ps = config.themis_grace_slack != 0
                                                   ? config.themis_grace_slack
                                                   : xoff_drain + config.link_delay;
+      // Register-array realism (§4): capacity 0 keeps the legacy unbounded
+      // table. entry_bytes stays 0 — ThemisD derives the §4 width
+      // (20 B + queue_capacity) from its own ring sizing above.
+      themis_config.themis_d.flow_table.capacity = config.themis_flow_capacity;
+      themis_config.themis_d.flow_table.policy = config.themis_aging;
+      themis_config.themis_d.flow_table.idle_timeout = config.themis_idle_timeout;
       themis_ = ThemisDeployment::Install(topology_, themis_config);
       break;
     }

@@ -133,6 +133,13 @@ struct ExperimentConfig {
   bool themis_pause_grace = true;
   TimePs themis_grace_lookback = 0;
   TimePs themis_grace_slack = 0;
+  // Register-array realism (§4): bound each ToR's Themis-D flow table.
+  // capacity 0 (default) keeps the legacy unbounded table — bit-identical,
+  // goldens pinned. With a capacity, themis_aging picks the reclamation
+  // policy and themis_idle_timeout its quiet threshold (kIdleTimeout only).
+  size_t themis_flow_capacity = 0;
+  EvictionPolicy themis_aging = EvictionPolicy::kNone;
+  TimePs themis_idle_timeout = 0;
   TimePs flowlet_gap = 50 * kMicrosecond;
   ReorderHookConfig reorder;  // kSprayReorder baseline knobs
 

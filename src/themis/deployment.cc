@@ -132,6 +132,11 @@ ThemisDStats ThemisDeployment::AggregateDStats() const {
     total.grace_deferred += s.grace_deferred;
     total.grace_cancelled += s.grace_cancelled;
     total.grace_expired += s.grace_expired;
+    total.flows_evicted += s.flows_evicted;
+    total.flows_aged_out += s.flows_aged_out;
+    total.flows_rejected += s.flows_rejected;
+    total.grace_evicted += s.grace_evicted;
+    total.compensations_evicted += s.compensations_evicted;
   }
   return total;
 }

@@ -1,0 +1,449 @@
+// Bounded flow table modelling a Tofino-style register array (paper
+// Section 4; cf. P4sim's treatment of programmable-pipeline resources).
+//
+// The paper sizes Themis-D's per-ToR state analytically — 20 B of flow
+// entry plus a 1 B-per-entry PSN ring for every provisioned cross-rack QP —
+// and concludes the §4 example fits in ~193 KB of a Tofino's 64 MB SRAM.
+// A real dataplane, however, does not get an std::unordered_map: it gets a
+// register array of *fixed* capacity, entries must be reclaimed when the
+// live flow population exceeds what was provisioned, and an insertion into
+// a full table can simply fail. This container reproduces exactly that
+// resource envelope in the simulator:
+//
+//  * fixed-capacity, open-addressed (linear probing) key -> entry storage;
+//    capacity 0 selects the legacy unbounded mode, which is behaviourally
+//    identical to the STL map it replaces (no eviction, ever — the
+//    determinism goldens pin this);
+//  * pluggable reclamation: kNone (full table refuses inserts), kLruClock
+//    (second-chance clock over the slot array — the classic one-bit
+//    hardware approximation of LRU), kIdleTimeout (only entries quiet for
+//    longer than the timeout are reclaimed; a full table of active flows
+//    refuses inserts);
+//  * eviction is surfaced to the caller (key + the moved-out entry) so
+//    Themis-D can resolve armed BePSN compensations and parked grace NACKs
+//    fail-open instead of dangling them;
+//  * a §4-consistent footprint: ModelBytes() is the dataplane SRAM the
+//    configured geometry occupies (capacity x entry width), cross-checked
+//    against EstimateThemisMemory by bench_tab1_memory.
+//
+// Determinism: the table draws no randomness and never consults wall-clock
+// time — probe order is a pure function of the key stream, and the clock
+// hand advances only on insertions — so eviction order is bit-identical
+// across runs and sweep thread counts (THEMIS_SWEEP_THREADS).
+//
+// Entry pointers are stable until *that entry* is evicted or the table is
+// cleared: slots live in a deque (growth never moves them) and the bucket
+// index stores slot numbers, so rehashing relocates nothing.
+
+#ifndef THEMIS_SRC_THEMIS_FLOW_TABLE_H_
+#define THEMIS_SRC_THEMIS_FLOW_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace themis {
+
+// Section 4 flow-table entry layout: 13 B QP id + 3 B blocked ePSN +
+// 1 B Valid flag + 3 B ring metadata, plus 1 B per truncated-PSN ring slot.
+inline constexpr uint32_t kSection4FlowEntryBytes = 20;
+inline constexpr uint32_t kSection4PsnEntryBytes = 1;
+
+enum class EvictionPolicy : uint8_t {
+  kNone = 0,         // bounded: full table refuses inserts; unbounded: inert
+  kLruClock = 1,     // second-chance clock over the slot array
+  kIdleTimeout = 2,  // reclaim only entries idle longer than `idle_timeout`
+};
+
+constexpr const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kNone:
+      return "none";
+    case EvictionPolicy::kLruClock:
+      return "lru";
+    case EvictionPolicy::kIdleTimeout:
+      return "idle";
+  }
+  return "?";
+}
+
+struct FlowTableConfig {
+  // Provisioned entries (the §4 register-array depth: N_QP x N_NIC for a
+  // ToR). 0 = unbounded — bit-identical to the pre-bounded STL behaviour.
+  size_t capacity = 0;
+  EvictionPolicy policy = EvictionPolicy::kNone;
+  // kIdleTimeout: an entry becomes reclaimable after this much quiet time.
+  TimePs idle_timeout = 0;
+  // Dataplane bytes one entry occupies (flow entry + PSN ring). 0 lets the
+  // owner derive it from its ring capacity (Section 4 layout).
+  uint32_t entry_bytes = 0;
+};
+
+struct FlowTableStats {
+  uint64_t inserts = 0;     // entries ever created (flow churn)
+  uint64_t evictions = 0;   // capacity-pressure victims (LRU clock)
+  uint64_t aged_out = 0;    // idle-timeout victims
+  uint64_t rejected = 0;    // insert attempts refused with the table full
+  uint64_t hits = 0;        // successful keyed lookups
+  uint64_t misses = 0;      // keyed lookups that found nothing
+  uint64_t peak_occupancy = 0;
+};
+
+template <typename Entry>
+class FlowTable {
+ public:
+  FlowTable() : FlowTable(FlowTableConfig{}) {}
+
+  explicit FlowTable(const FlowTableConfig& config) : config_(config) {
+    size_t want = config_.capacity > 0 ? config_.capacity * 2 : kMinBuckets;
+    bucket_mask_ = NextPow2(want < kMinBuckets ? kMinBuckets : want) - 1;
+    buckets_.assign(bucket_mask_ + 1, kEmpty);
+  }
+
+  FlowTable(FlowTable&&) = default;
+  FlowTable& operator=(FlowTable&&) = default;
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return config_.capacity; }
+  bool bounded() const { return config_.capacity > 0; }
+  const FlowTableConfig& config() const { return config_; }
+  const FlowTableStats& stats() const { return stats_; }
+
+  // Dataplane SRAM bytes of the configured geometry (capacity x entry
+  // width); in unbounded mode, of the currently live population. This is
+  // the quantity EstimateThemisMemory's per-QP term predicts.
+  uint64_t ModelBytes() const {
+    const uint64_t entries = bounded() ? config_.capacity : size_;
+    return entries * config_.entry_bytes;
+  }
+
+  // Simulator-side footprint of the container itself (slots + bucket
+  // index). Excludes heap memory owned by Entry (e.g. PSN ring vectors) —
+  // callers that want the full host number add that per their Entry type.
+  uint64_t HostBytes() const {
+    return static_cast<uint64_t>(slots_.size()) * sizeof(Slot) +
+           static_cast<uint64_t>(buckets_.size()) * sizeof(int32_t);
+  }
+
+  // Keyed lookup that marks the entry as referenced (clock bit + last-touch
+  // time). Use for dataplane-driven accesses only.
+  Entry* Find(uint32_t key, TimePs now) {
+    const int32_t slot = FindSlot(key);
+    if (slot < 0) {
+      ++stats_.misses;
+      last_slot_ = -1;
+      return nullptr;
+    }
+    ++stats_.hits;
+    TouchSlot(slot, now);
+    last_slot_ = slot;
+    return &*slots_[static_cast<size_t>(slot)].entry;
+  }
+
+  // Observational lookup: no reference bit, no stats, no last-touch update.
+  // Telemetry probes must use this so attaching a sampler cannot perturb
+  // eviction order.
+  const Entry* Peek(uint32_t key) const {
+    const int32_t slot = FindSlot(key);
+    return slot < 0 ? nullptr : &*slots_[static_cast<size_t>(slot)].entry;
+  }
+
+  // Mutable observational lookup: like Peek, but for control-plane paths
+  // (e.g. flush timers) that must mutate the entry without making an idle
+  // flow look hot to the evictor.
+  Entry* PeekMut(uint32_t key) {
+    const int32_t slot = FindSlot(key);
+    return slot < 0 ? nullptr : &*slots_[static_cast<size_t>(slot)].entry;
+  }
+
+  // Slot index of the entry returned by the most recent successful Find /
+  // FindOrCreate — an O(1) re-touch handle for callers that cache the
+  // entry pointer across packets (Themis-D's last-flow cache).
+  int32_t last_slot() const { return last_slot_; }
+
+  // O(1) reference-bit refresh for a slot obtained from last_slot().
+  void TouchSlot(int32_t slot, TimePs now) {
+    Slot& s = slots_[static_cast<size_t>(slot)];
+    s.ref = true;
+    s.last_touch = now;
+  }
+
+  // Returns the entry for `key`, creating it from `make()` when absent.
+  // When creation requires reclaiming a slot, the victim is handed to
+  // `on_evict(key, std::move(entry), aged)` *after* it has been unlinked
+  // (aged = idle-timeout victim vs. capacity-pressure victim). Returns
+  // nullptr — and counts a rejection — when the table is full and the
+  // policy refuses to evict; the caller must fail open (leave the flow
+  // untracked).
+  template <typename Make, typename OnEvict>
+  Entry* FindOrCreate(uint32_t key, TimePs now, bool* inserted, Make&& make,
+                      OnEvict&& on_evict) {
+    *inserted = false;
+    if (Entry* existing = Find(key, now)) {
+      return existing;
+    }
+    if (bounded()) {
+      // Opportunistic aging: shed a little staleness per insertion so an
+      // idle-timeout table's occupancy tracks the live population instead
+      // of saturating. Deterministic (hand position is part of the state).
+      if (config_.policy == EvictionPolicy::kIdleTimeout && config_.idle_timeout > 0) {
+        AgeScan(now, kAgeScanBudget, on_evict);
+      }
+      if (size_ >= config_.capacity && !EvictOne(now, on_evict)) {
+        ++stats_.rejected;
+        last_slot_ = -1;
+        return nullptr;
+      }
+    }
+    const int32_t slot = AllocateSlot(key, now, std::forward<Make>(make));
+    InsertBucket(key, slot);
+    ++size_;
+    ++stats_.inserts;
+    if (size_ > stats_.peak_occupancy) {
+      stats_.peak_occupancy = size_;
+    }
+    *inserted = true;
+    last_slot_ = slot;
+    return &*slots_[static_cast<size_t>(slot)].entry;
+  }
+
+  // Drops every entry (switch reboot / ECMP-fallback flush). Cumulative
+  // stats survive — they back monotonic telemetry counters.
+  void Clear() {
+    slots_.clear();
+    free_slots_.clear();
+    buckets_.assign(buckets_.size(), kEmpty);
+    tombstones_ = 0;
+    size_ = 0;
+    clock_hand_ = 0;
+    last_slot_ = -1;
+  }
+
+  // Deterministic iteration in slot order (insertion order modulo slot
+  // reuse). `fn(key, entry)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.entry.has_value()) {
+        fn(slot.key, *slot.entry);
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kMinBuckets = 16;
+  static constexpr int32_t kEmpty = -1;
+  static constexpr int32_t kTombstone = -2;
+  // Expired entries reclaimed per insertion beyond the one needed for space.
+  static constexpr size_t kAgeScanBudget = 4;
+
+  struct Slot {
+    uint32_t key = 0;
+    bool ref = false;  // clock second-chance bit
+    TimePs last_touch = 0;
+    std::optional<Entry> entry;  // nullopt = free slot awaiting reuse
+  };
+
+  static size_t NextPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  // SplitMix64 finalizer — a fixed, platform-independent mix so probe (and
+  // therefore eviction) order is reproducible everywhere.
+  static uint64_t Mix(uint32_t key) {
+    uint64_t x = (static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ull);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  int32_t FindSlot(uint32_t key) const {
+    size_t bucket = static_cast<size_t>(Mix(key)) & bucket_mask_;
+    while (true) {
+      const int32_t ref = buckets_[bucket];
+      if (ref == kEmpty) {
+        return -1;
+      }
+      if (ref != kTombstone && slots_[static_cast<size_t>(ref)].key == key &&
+          slots_[static_cast<size_t>(ref)].entry.has_value()) {
+        return ref;
+      }
+      bucket = (bucket + 1) & bucket_mask_;
+    }
+  }
+
+  template <typename Make>
+  int32_t AllocateSlot(uint32_t key, TimePs now, Make&& make) {
+    int32_t index;
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      index = static_cast<int32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[static_cast<size_t>(index)];
+    slot.key = key;
+    slot.ref = true;
+    slot.last_touch = now;
+    slot.entry.emplace(make());
+    return index;
+  }
+
+  void InsertBucket(uint32_t key, int32_t slot) {
+    MaybeRehash();
+    size_t bucket = static_cast<size_t>(Mix(key)) & bucket_mask_;
+    while (buckets_[bucket] != kEmpty && buckets_[bucket] != kTombstone) {
+      bucket = (bucket + 1) & bucket_mask_;
+    }
+    if (buckets_[bucket] == kTombstone) {
+      --tombstones_;
+    }
+    buckets_[bucket] = slot;
+  }
+
+  void RemoveBucket(uint32_t key, int32_t slot) {
+    size_t bucket = static_cast<size_t>(Mix(key)) & bucket_mask_;
+    while (buckets_[bucket] != slot) {
+      bucket = (bucket + 1) & bucket_mask_;
+    }
+    buckets_[bucket] = kTombstone;
+    ++tombstones_;
+  }
+
+  void MaybeRehash() {
+    const size_t buckets = bucket_mask_ + 1;
+    const bool overloaded = (size_ + 1 + tombstones_) * 4 > buckets * 3;
+    if (!overloaded) {
+      return;
+    }
+    // Grow only while the live population needs it; a tombstone pile-up at
+    // steady occupancy rebuilds at the same size.
+    const size_t want = (size_ + 1) * 2 > buckets ? buckets * 2 : buckets;
+    bucket_mask_ = want - 1;
+    buckets_.assign(want, kEmpty);
+    tombstones_ = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].entry.has_value()) {
+        size_t bucket = static_cast<size_t>(Mix(slots_[i].key)) & bucket_mask_;
+        while (buckets_[bucket] != kEmpty) {
+          bucket = (bucket + 1) & bucket_mask_;
+        }
+        buckets_[bucket] = static_cast<int32_t>(i);
+      }
+    }
+  }
+
+  template <typename OnEvict>
+  void EvictSlot(int32_t index, bool aged, OnEvict&& on_evict) {
+    Slot& slot = slots_[static_cast<size_t>(index)];
+    const uint32_t key = slot.key;
+    Entry victim = std::move(*slot.entry);
+    slot.entry.reset();
+    RemoveBucket(key, index);
+    free_slots_.push_back(index);
+    --size_;
+    if (aged) {
+      ++stats_.aged_out;
+    } else {
+      ++stats_.evictions;
+    }
+    // Unlinked first: a (hypothetical) reentrant lookup cannot find the
+    // victim while the callback resolves its armed state.
+    on_evict(key, std::move(victim), aged);
+  }
+
+  // Reclaims one slot per the policy; false = nothing reclaimable.
+  template <typename OnEvict>
+  bool EvictOne(TimePs now, OnEvict&& on_evict) {
+    if (slots_.empty()) {
+      return false;
+    }
+    switch (config_.policy) {
+      case EvictionPolicy::kNone:
+        return false;
+      case EvictionPolicy::kIdleTimeout: {
+        // One full circle looking for an expired entry; active flows are
+        // never sacrificed (a full table of live flows refuses the insert).
+        const size_t n = slots_.size();
+        for (size_t step = 0; step < n; ++step) {
+          const size_t i = clock_hand_;
+          clock_hand_ = (clock_hand_ + 1) % n;
+          Slot& slot = slots_[i];
+          if (slot.entry.has_value() && now - slot.last_touch >= config_.idle_timeout) {
+            EvictSlot(static_cast<int32_t>(i), /*aged=*/true, on_evict);
+            return true;
+          }
+        }
+        return false;
+      }
+      case EvictionPolicy::kLruClock: {
+        // Second-chance clock: guaranteed to pick a victim within two
+        // circles (the first clears every reference bit at worst).
+        const size_t n = slots_.size();
+        for (size_t step = 0; step < 2 * n; ++step) {
+          const size_t i = clock_hand_;
+          clock_hand_ = (clock_hand_ + 1) % n;
+          Slot& slot = slots_[i];
+          if (!slot.entry.has_value()) {
+            continue;
+          }
+          if (slot.ref) {
+            slot.ref = false;
+            continue;
+          }
+          EvictSlot(static_cast<int32_t>(i), /*aged=*/false, on_evict);
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  // Reclaims up to `budget` expired entries starting at the clock hand.
+  template <typename OnEvict>
+  void AgeScan(TimePs now, size_t budget, OnEvict&& on_evict) {
+    const size_t n = slots_.size();
+    if (n == 0) {
+      return;
+    }
+    size_t reclaimed = 0;
+    for (size_t step = 0; step < n && reclaimed < budget; ++step) {
+      const size_t i = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % n;
+      Slot& slot = slots_[i];
+      if (slot.entry.has_value() && now - slot.last_touch >= config_.idle_timeout) {
+        EvictSlot(static_cast<int32_t>(i), /*aged=*/true, on_evict);
+        ++reclaimed;
+      }
+    }
+  }
+
+  FlowTableConfig config_;
+  std::deque<Slot> slots_;           // stable storage: growth never moves entries
+  std::vector<int32_t> free_slots_;  // evicted slot indices, reused LIFO
+  std::vector<int32_t> buckets_;     // open-addressed index into slots_
+  size_t bucket_mask_ = 0;
+  size_t tombstones_ = 0;
+  size_t size_ = 0;
+  size_t clock_hand_ = 0;
+  int32_t last_slot_ = -1;
+  FlowTableStats stats_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_THEMIS_FLOW_TABLE_H_

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/sim/time.h"
+#include "src/themis/flow_table.h"
 #include "src/themis/psn_queue.h"
 
 namespace themis {
@@ -51,6 +52,28 @@ inline MemoryModelResult EstimateThemisMemory(const MemoryModelParams& p) {
   r.sram_fraction =
       static_cast<double>(r.total_bytes) / static_cast<double>(p.switch_sram_bytes);
   return r;
+}
+
+// The register-array depth the §4 provisioning implies for one ToR: one
+// flow entry per provisioned cross-rack QP on each attached NIC.
+inline uint64_t FlowTableCapacity(const MemoryModelParams& p) {
+  return static_cast<uint64_t>(p.qps_per_nic) * p.nics_per_tor;
+}
+
+// FlowTableConfig matching the analytic model exactly: capacity = N_QP x
+// N_NIC, entry width = M_QP (flow entry + PSN ring). With this geometry,
+// FlowTable::ModelBytes() equals EstimateThemisMemory(p).per_qp_bytes x
+// capacity — the per-QP term of Eq. 4 — which bench_tab1_memory asserts.
+inline FlowTableConfig DeriveFlowTableConfig(const MemoryModelParams& p,
+                                             EvictionPolicy policy,
+                                             TimePs idle_timeout = 0) {
+  const MemoryModelResult r = EstimateThemisMemory(p);
+  FlowTableConfig config;
+  config.capacity = static_cast<size_t>(FlowTableCapacity(p));
+  config.policy = policy;
+  config.idle_timeout = idle_timeout;
+  config.entry_bytes = static_cast<uint32_t>(r.per_qp_bytes);
+  return config;
 }
 
 }  // namespace themis

@@ -11,24 +11,46 @@ bool InNetworkReorderHook::OnIngress(Switch& sw, Packet& pkt, int in_port) {
     return true;
   }
 
-  FlowState& flow = flows_[pkt.flow_id];
-  if (!flow.initialized) {
-    flow.initialized = true;
-    // Models the connection-handshake interception that tells the ToR each
-    // QP's initial PSN (0 for every QP in this simulator). Anchoring on the
-    // first *arrival* would mis-order whenever the first packet is itself
-    // out of order.
-    flow.expected = 0;
-    flow.sw = &sw;
-    const uint32_t flow_id = pkt.flow_id;
-    flow.flush_timer = std::make_unique<Timer>(sim_, [this, flow_id] {
-      auto it = flows_.find(flow_id);
-      if (it != flows_.end()) {
-        ++stats_.timeout_flushes;
-        Flush(it->second);
-      }
-    });
+  bool inserted = false;
+  FlowState* found = flows_.FindOrCreate(
+      pkt.flow_id, sim_->now(), &inserted,
+      [this, &sw, &pkt] {
+        FlowState flow;
+        // Models the connection-handshake interception that tells the ToR
+        // each QP's initial PSN (0 for every QP in this simulator).
+        // Anchoring on the first *arrival* would mis-order whenever the
+        // first packet is itself out of order.
+        flow.expected = 0;
+        flow.sw = &sw;
+        const uint32_t flow_id = pkt.flow_id;
+        flow.flush_timer = std::make_unique<Timer>(sim_, [this, flow_id] {
+          // PeekMut, not Find: a timeout firing means the flow went quiet —
+          // the probe must not refresh its idle clock.
+          FlowState* state = flows_.PeekMut(flow_id);
+          if (state != nullptr) {
+            ++stats_.timeout_flushes;
+            Flush(*state);
+          }
+        });
+        return flow;
+      },
+      [this](uint32_t, FlowState&& victim, bool) {
+        // Fail open: held data is never dropped with its slot. Releasing in
+        // PSN order re-creates at worst the OOO arrival the buffer existed
+        // to hide; the NIC's own NACK path takes over from there. The Timer
+        // dtor cancels any armed flush when `victim` goes out of scope.
+        if (!victim.buffered.empty()) {
+          ++stats_.eviction_flushes;
+          Flush(victim);
+        }
+      });
+  if (found == nullptr) {
+    // Table full, nothing reclaimable: the flow is simply not buffered and
+    // its OOO packets reach the NIC as they would without this hook.
+    ++stats_.flows_rejected;
+    return true;
   }
+  FlowState& flow = *found;
 
   if (pkt.psn == flow.expected) {
     // In order: deliver immediately, then everything contiguous behind it.
@@ -45,9 +67,9 @@ bool InNetworkReorderHook::OnIngress(Switch& sw, Packet& pkt, int in_port) {
   }
 
   // Out of order: hold it. Duplicate OOO packets overwrite harmlessly.
-  auto [it, inserted] = flow.buffered.emplace(pkt.psn, pkt);
+  auto [it, ins] = flow.buffered.emplace(pkt.psn, pkt);
   (void)it;
-  if (inserted) {
+  if (ins) {
     flow.buffered_bytes += pkt.wire_bytes;
     total_buffered_ += pkt.wire_bytes;
     ++stats_.packets_held;

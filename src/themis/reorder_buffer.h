@@ -11,6 +11,12 @@
 // ToR must buffer up to a path-delay-spread × bandwidth product per flow.
 // `max_buffered_bytes` is tracked so benchmarks can quantify exactly that
 // (compare with Themis-D's ~120 B/QP flow state).
+//
+// Flow state lives in the same bounded FlowTable as Themis-D's (register-
+// array realism, flow_table.h). Default config is unbounded and
+// bit-identical to the historical STL-map behaviour; with a capacity set,
+// evicting a flow flushes its held packets in PSN order (fail open — held
+// data is never dropped) before the slot is reclaimed.
 
 #ifndef THEMIS_SRC_THEMIS_REORDER_BUFFER_H_
 #define THEMIS_SRC_THEMIS_REORDER_BUFFER_H_
@@ -18,8 +24,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 
+#include "src/themis/flow_table.h"
 #include "src/topo/switch.h"
 
 namespace themis {
@@ -32,6 +38,9 @@ struct ReorderHookConfig {
   // skew + queueing spread), or transient congestion triggers premature
   // flushes and NACK leakage.
   TimePs flush_timeout = 100 * kMicrosecond;
+  // Register-array budget for per-flow reorder state. Defaults (capacity 0,
+  // kNone) keep the legacy unbounded behaviour.
+  FlowTableConfig flow_table;
 };
 
 struct ReorderHookStats {
@@ -39,6 +48,8 @@ struct ReorderHookStats {
   uint64_t packets_released_in_order = 0;
   uint64_t timeout_flushes = 0;
   uint64_t overflow_flushes = 0;
+  uint64_t eviction_flushes = 0;  // flow evicted with packets still held
+  uint64_t flows_rejected = 0;    // table full: flow passes through unbuffered
   int64_t max_buffered_bytes = 0;      // peak across flows, single flow
   int64_t max_total_buffered_bytes = 0;  // peak summed over all flows
 };
@@ -47,11 +58,15 @@ class InNetworkReorderHook : public SwitchHook {
  public:
   InNetworkReorderHook(Simulator* sim, const ReorderHookConfig& config,
                        std::function<bool(const Packet&)> is_cross_rack)
-      : sim_(sim), config_(config), is_cross_rack_(std::move(is_cross_rack)) {}
+      : sim_(sim),
+        config_(config),
+        is_cross_rack_(std::move(is_cross_rack)),
+        flows_(config_.flow_table) {}
 
   bool OnIngress(Switch& sw, Packet& pkt, int in_port) override;
 
   const ReorderHookStats& stats() const { return stats_; }
+  const FlowTableStats& flow_table_stats() const { return flows_.stats(); }
   int64_t total_buffered_bytes() const { return total_buffered_; }
 
  private:
@@ -62,7 +77,6 @@ class InNetworkReorderHook : public SwitchHook {
     bool operator()(uint32_t a, uint32_t b) const { return PsnLt(a, b); }
   };
   struct FlowState {
-    bool initialized = false;
     uint32_t expected = 0;
     std::map<uint32_t, Packet, SerialLess> buffered;
     int64_t buffered_bytes = 0;
@@ -77,7 +91,7 @@ class InNetworkReorderHook : public SwitchHook {
   Simulator* sim_;
   ReorderHookConfig config_;
   std::function<bool(const Packet&)> is_cross_rack_;
-  std::unordered_map<uint32_t, FlowState> flows_;
+  FlowTable<FlowState> flows_;
   int64_t total_buffered_ = 0;
   ReorderHookStats stats_;
 };

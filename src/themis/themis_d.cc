@@ -27,9 +27,9 @@ bool ThemisD::OnIngress(Switch& sw, Packet& pkt, int in_port) {
   }
   if (pkt.type == PacketType::kAck && sw.IsHostPort(in_port)) {
     // Snoop the NIC's cumulative ACK stream (the ACK carries the ePSN).
-    auto it = flows_.find(pkt.flow_id);
-    if (it != flows_.end()) {
-      ObserveCumulativeAck(sw, pkt.flow_id, it->second, pkt.psn);
+    FlowEntry* entry = flows_.Find(pkt.flow_id, sw.sim()->now());
+    if (entry != nullptr) {
+      ObserveCumulativeAck(sw, pkt.flow_id, *entry, pkt.psn);
     }
   }
   return true;
@@ -123,10 +123,78 @@ void ThemisD::ExpireGraceIfDue(Switch& sw, uint32_t flow_id, FlowEntry& entry) {
   }
 }
 
+void ThemisD::OnFlowEvicted(Switch& sw, uint32_t flow_id, FlowEntry&& entry, bool aged) {
+  // The slot is about to be reused: a cached pointer to this flow would
+  // alias its replacement (the bug the old "ResetFlowState is the only
+  // removal path" comment papered over).
+  if (cached_entry_ != nullptr && cached_flow_id_ == flow_id) {
+    cached_entry_ = nullptr;
+    cached_slot_ = -1;
+  }
+  if (aged) {
+    ++stats_.flows_aged_out;
+  } else {
+    ++stats_.flows_evicted;
+  }
+  TraceThemis(sw.sim(), ThemisTrace::kFlowMiss, static_cast<uint16_t>(sw.id()), flow_id,
+              /*a=*/aged ? 1u : 0u);
+  // Fail open, never dangle. A parked grace NACK is released to the sender
+  // (a withheld NACK must not vanish with its state); an armed Section 3.4
+  // compensation is delivered now — the RNIC will never re-NACK that ePSN,
+  // so dropping the obligation could stall the sender until RTO. At worst
+  // both are spurious (the packet was merely delayed), which NIC-SR absorbs
+  // as a duplicate retransmission.
+  if (entry.grace_pending) {
+    entry.grace_pending = false;
+    ++stats_.grace_evicted;
+    sw.Forward(entry.grace_nack);
+  }
+  if (entry.valid) {
+    entry.valid = false;
+    ++stats_.compensations_evicted;
+    Packet nack = MakeControlPacket(PacketType::kNack, flow_id,
+                                    /*src=*/entry.dst_host, /*dst=*/entry.src_host,
+                                    entry.blocked_epsn, entry.udp_sport);
+    sw.Forward(nack);
+  }
+}
+
+void ThemisD::set_telemetry(CounterRegistry* registry, std::string prefix) {
+  counter_registry_ = registry;
+  counter_prefix_ = std::move(prefix);
+  if (registry == nullptr) {
+    return;
+  }
+  // Flow-table pressure columns, registered eagerly so they exist (and keep
+  // a deterministic registry position) whether or not eviction ever fires.
+  const FlowTableStats& table = flows_.stats();
+  const std::string prefix_ft = counter_prefix_ + ".flow_table";
+  registry->RegisterCounter(prefix_ft + ".inserts", &table.inserts);
+  registry->RegisterCounter(prefix_ft + ".evictions", &table.evictions);
+  registry->RegisterCounter(prefix_ft + ".aged_out", &table.aged_out);
+  registry->RegisterCounter(prefix_ft + ".rejected", &table.rejected);
+  registry->RegisterCounter(prefix_ft + ".telemetry_overflow", &telemetry_overflow_);
+  registry->RegisterGauge(prefix_ft + ".occupancy",
+                          [this] { return static_cast<double>(flows_.size()); });
+  registry->RegisterGauge(prefix_ft + ".model_bytes",
+                          [this] { return static_cast<double>(flows_.ModelBytes()); });
+}
+
 ThemisD::FlowTelemetry& ThemisD::TelemetryFor(uint32_t flow_id) {
-  auto [it, inserted] = flow_telemetry_.try_emplace(flow_id);
+  auto it = flow_telemetry_.find(flow_id);
+  if (it != flow_telemetry_.end()) {
+    return it->second;
+  }
+  // Aggregate-beyond-N cap: at million-flow scale, per-flow lazy counter
+  // registration is O(flows) registry growth forever. Flows past the cap
+  // share one overflow bucket.
+  if (flow_telemetry_.size() >= config_.telemetry_flow_cap) {
+    ++telemetry_overflow_;
+    return overflow_telemetry_;
+  }
+  auto [inserted_it, inserted] = flow_telemetry_.try_emplace(flow_id);
   if (inserted && counter_registry_ != nullptr) {
-    FlowTelemetry* t = &it->second;
+    FlowTelemetry* t = &inserted_it->second;
     const std::string prefix = counter_prefix_ + ".flow" + std::to_string(flow_id);
     counter_registry_->RegisterCounter(prefix + ".nack_valid", &t->nacks_valid);
     counter_registry_->RegisterCounter(prefix + ".nack_blocked", &t->nacks_blocked);
@@ -134,20 +202,41 @@ ThemisD::FlowTelemetry& ThemisD::TelemetryFor(uint32_t flow_id) {
     counter_registry_->RegisterCounter(prefix + ".grace_deferred", &t->grace_deferred);
     counter_registry_->RegisterCounter(prefix + ".grace_cancelled", &t->grace_cancelled);
     counter_registry_->RegisterGauge(prefix + ".bepsn_lag", [this, flow_id] {
-      auto fit = flows_.find(flow_id);
-      if (fit == flows_.end() || !fit->second.valid || !fit->second.cum_ack_seen) {
+      // Peek, not Find: a telemetry probe must not touch the clock
+      // reference bit, or attaching a sampler would change eviction order.
+      const FlowEntry* entry = flows_.Peek(flow_id);
+      if (entry == nullptr || !entry->valid || !entry->cum_ack_seen) {
         return 0.0;
       }
-      return static_cast<double>(PsnDiff(fit->second.blocked_epsn, fit->second.cum_ack));
+      return static_cast<double>(PsnDiff(entry->blocked_epsn, entry->cum_ack));
     });
   }
-  return it->second;
+  return inserted_it->second;
 }
 
 bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
+  const TimePs now = sw.sim()->now();
   FlowEntry* cached = cached_entry_;
   if (cached == nullptr || cached_flow_id_ != pkt.flow_id) {
-    auto [it, inserted] = flows_.try_emplace(pkt.flow_id, config_);
+    bool inserted = false;
+    cached = flows_.FindOrCreate(
+        pkt.flow_id, now, &inserted,
+        [this, &pkt] {
+          FlowEntry entry(config_);
+          entry.src_host = pkt.src_host;
+          entry.dst_host = pkt.dst_host;
+          entry.udp_sport = pkt.udp_sport;
+          return entry;
+        },
+        [this, &sw](uint32_t key, FlowEntry&& victim, bool aged) {
+          OnFlowEvicted(sw, key, std::move(victim), aged);
+        });
+    if (cached == nullptr) {
+      // Register array full and the policy refuses to evict: the flow stays
+      // untracked and its NACKs fail open at the table-miss path.
+      ++stats_.flows_rejected;
+      return true;
+    }
     if (inserted) {
       // Models the connection-setup handshake interception that provisions
       // the per-QP ring queue and flow-table entry.
@@ -158,9 +247,13 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
         TelemetryFor(pkt.flow_id);  // provision the per-flow counter columns
       }
     }
-    cached = &it->second;
     cached_flow_id_ = pkt.flow_id;
     cached_entry_ = cached;
+    cached_slot_ = flows_.last_slot();
+  } else if (cached_slot_ >= 0) {
+    // Cache hit: keep the clock reference bit honest without re-probing —
+    // a flow streaming through the cache must look hot to the evictor.
+    flows_.TouchSlot(cached_slot_, now);
   }
   FlowEntry& entry = *cached;
 
@@ -168,7 +261,7 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
   // needs its PSN pushed (the common case, and the whole burst's data run
   // when nothing is in flight with the validator).
   if (!entry.valid_pending && !entry.grace_pending && !entry.valid) {
-    entry.queue.Push(pkt.psn, sw.sim()->now());
+    entry.queue.Push(pkt.psn, now);
     ++stats_.data_tracked;
     TraceThemis(sw.sim(), ThemisTrace::kRingPush, static_cast<uint16_t>(sw.id()),
                 pkt.flow_id, pkt.psn, entry.queue.size());
@@ -228,7 +321,7 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
     }
   }
 
-  entry.queue.Push(pkt.psn, sw.sim()->now());
+  entry.queue.Push(pkt.psn, now);
   ++stats_.data_tracked;
   TraceThemis(sw.sim(), ThemisTrace::kRingPush, static_cast<uint16_t>(sw.id()), pkt.flow_id,
               pkt.psn, entry.queue.size());
@@ -236,16 +329,16 @@ bool ThemisD::HandleData(Switch& sw, const Packet& pkt) {
 }
 
 bool ThemisD::HandleNack(Switch& sw, const Packet& pkt) {
-  auto it = flows_.find(pkt.flow_id);
-  if (it == flows_.end()) {
+  FlowEntry* found = flows_.Find(pkt.flow_id, sw.sim()->now());
+  if (found == nullptr) {
     TraceThemis(sw.sim(), ThemisTrace::kFlowMiss, static_cast<uint16_t>(sw.id()),
                 pkt.flow_id, pkt.psn);
-    return true;  // untracked flow (e.g. intra-rack): fail open
+    return true;  // untracked flow (intra-rack, evicted, or rejected): fail open
   }
   ++stats_.nacks_seen;
   TraceThemis(sw.sim(), ThemisTrace::kFlowHit, static_cast<uint16_t>(sw.id()), pkt.flow_id,
               pkt.psn);
-  FlowEntry& entry = it->second;
+  FlowEntry& entry = *found;
   // A NACK's ePSN is also a cumulative acknowledgment.
   ObserveCumulativeAck(sw, pkt.flow_id, entry, pkt.psn);
 
@@ -325,10 +418,26 @@ bool ThemisD::HandleNack(Switch& sw, const Packet& pkt) {
 
 uint64_t ThemisD::TotalQueueOverflows() const {
   uint64_t total = 0;
-  for (const auto& [flow_id, entry] : flows_) {
+  flows_.ForEach([&total](uint32_t, const FlowEntry& entry) {
     total += entry.queue.overflows();
-  }
+  });
   return total;
+}
+
+ThemisD::RingOccupancy ThemisD::SnapshotRingOccupancy() const {
+  RingOccupancy occupancy;
+  uint64_t total = 0;
+  flows_.ForEach([&occupancy, &total](uint32_t, const FlowEntry& entry) {
+    ++occupancy.flows;
+    total += entry.queue.size();
+    if (entry.queue.size() > occupancy.max_entries) {
+      occupancy.max_entries = entry.queue.size();
+    }
+  });
+  occupancy.mean_entries =
+      occupancy.flows == 0 ? 0.0
+                           : static_cast<double>(total) / static_cast<double>(occupancy.flows);
+  return occupancy;
 }
 
 }  // namespace themis

@@ -16,6 +16,13 @@
 //
 // Fail-open safety: any NACK whose tPSN cannot be identified (unknown flow,
 // drained queue, overflowed ring) is forwarded, never dropped.
+//
+// Flow state lives in a bounded FlowTable modelling the §4 register-array
+// budget (see flow_table.h). The default — unbounded, no aging — is
+// bit-identical to the historical STL-map behaviour; with a capacity set,
+// evictions resolve fail-open: the flow's armed compensation NACK is
+// delivered (not dangled), a parked grace NACK is released, and the flow's
+// next NACK simply misses the table and is forwarded unvalidated.
 
 #ifndef THEMIS_SRC_THEMIS_THEMIS_D_H_
 #define THEMIS_SRC_THEMIS_THEMIS_D_H_
@@ -25,6 +32,7 @@
 #include <unordered_map>
 
 #include "src/telemetry/counters.h"
+#include "src/themis/flow_table.h"
 #include "src/themis/psn_queue.h"
 #include "src/topo/switch.h"
 
@@ -50,6 +58,16 @@ struct ThemisDConfig {
   bool pause_grace = false;
   TimePs grace_lookback_ps = 0;  // suspect window starts this far before the tPSN
   TimePs grace_slack_ps = 0;     // quiet time after the last overlapping pause
+  // Register-array realism (Section 4): capacity/policy of the per-ToR flow
+  // table. Defaults (capacity 0, kNone) keep the legacy unbounded
+  // behaviour. entry_bytes of 0 derives the §4 width from queue_capacity.
+  FlowTableConfig flow_table;
+  // Per-flow telemetry columns are registered lazily as flows appear; at
+  // million-flow scale that is O(flows) registry growth forever. Beyond
+  // this many flows, verdict tallies aggregate into one shared overflow
+  // bucket and `<prefix>.flow_table.telemetry_overflow` counts the events
+  // that landed there.
+  size_t telemetry_flow_cap = 256;
 };
 
 struct ThemisDStats {
@@ -78,6 +96,12 @@ struct ThemisDStats {
   uint64_t grace_deferred = 0;   // valid NACK parked instead of forwarded
   uint64_t grace_cancelled = 0;  // ePSN arrived during grace: NACK was spurious
   uint64_t grace_expired = 0;    // window elapsed: NACK released to the sender
+  // Flow-table pressure (bounded tables only; all zero when unbounded).
+  uint64_t flows_evicted = 0;    // LRU-clock capacity victims
+  uint64_t flows_aged_out = 0;   // idle-timeout victims
+  uint64_t flows_rejected = 0;   // insert attempts refused (untracked packets)
+  uint64_t grace_evicted = 0;    // parked grace NACK released because its flow was evicted
+  uint64_t compensations_evicted = 0;  // armed BePSN delivered at eviction time
 };
 
 class ThemisD : public SwitchHook {
@@ -90,6 +114,12 @@ class ThemisD : public SwitchHook {
     if (config_.num_paths == 0) {
       config_.num_paths = 1;
     }
+    if (config_.flow_table.entry_bytes == 0) {
+      config_.flow_table.entry_bytes =
+          kSection4FlowEntryBytes +
+          static_cast<uint32_t>(config_.queue_capacity) * kSection4PsnEntryBytes;
+    }
+    flows_ = FlowTable<FlowEntry>(config_.flow_table);
   }
 
   bool OnIngress(Switch& sw, Packet& pkt, int in_port) override;
@@ -108,26 +138,40 @@ class ThemisD : public SwitchHook {
   // Called when Themis re-engages after an ECMP fallback period: PSNs
   // recorded under a different routing mode would misidentify tPSNs.
   void ResetFlowState() {
-    flows_.clear();
+    flows_.Clear();
     cached_entry_ = nullptr;
+    cached_slot_ = -1;
   }
 
   const ThemisDConfig& config() const { return config_; }
   const ThemisDStats& stats() const { return stats_; }
   size_t flow_count() const { return flows_.size(); }
+  // Bounded-flow-table observability (occupancy/eviction/churn/footprint).
+  const FlowTableStats& flow_table_stats() const { return flows_.stats(); }
+  uint64_t FlowTableModelBytes() const { return flows_.ModelBytes(); }
+  uint64_t FlowTableHostBytes() const { return flows_.HostBytes(); }
 
   // Telemetry: per-flow NACK-verdict counters register lazily under
-  // "<prefix>.flow<id>.*" as flows are provisioned, plus a BePSN-lag gauge
-  // (how far the armed compensation's BePSN sits ahead of the NIC's
-  // cumulative ACK). Tallies live outside the flow table so ResetFlowState()
-  // never dangles a registered pointer. Registry must outlive this hook.
-  void set_telemetry(CounterRegistry* registry, std::string prefix) {
-    counter_registry_ = registry;
-    counter_prefix_ = std::move(prefix);
-  }
+  // "<prefix>.flow<id>.*" as flows are provisioned (aggregated into a
+  // shared "<prefix>.flow_overflow.*" bucket beyond telemetry_flow_cap),
+  // plus a BePSN-lag gauge (how far the armed compensation's BePSN sits
+  // ahead of the NIC's cumulative ACK) and "<prefix>.flow_table.*"
+  // occupancy/eviction/churn counters. Tallies live outside the flow table
+  // so ResetFlowState() never dangles a registered pointer. Registry must
+  // outlive this hook.
+  void set_telemetry(CounterRegistry* registry, std::string prefix);
 
   // Total PSN-queue ring overflows across flows (diagnostic).
   uint64_t TotalQueueOverflows() const;
+
+  // Live PSN-ring occupancy snapshot (bench diagnostic: compare against the
+  // analytic §4 queue_entries sizing).
+  struct RingOccupancy {
+    size_t flows = 0;
+    size_t max_entries = 0;
+    double mean_entries = 0.0;
+  };
+  RingOccupancy SnapshotRingOccupancy() const;
 
  private:
   struct FlowEntry {
@@ -147,6 +191,12 @@ class ThemisD : public SwitchHook {
     // last NACK forwarded as valid, pending proof of loss vs. delay.
     uint32_t valid_epsn = 0;
     bool valid_pending = false;
+    // Connection addressing, mirroring the 13 B QP id of the §4 entry
+    // layout: lets an eviction deliver the armed compensation NACK instead
+    // of dangling the Section 3.4 obligation.
+    int32_t src_host = 0;
+    int32_t dst_host = 0;
+    uint16_t udp_sport = 0;
     // Pause-aware grace window: one deferred valid NACK per flow (the RNIC
     // emits at most one NACK per ePSN epoch, so one slot suffices — mirrors
     // the single BePSN compensation slot).
@@ -157,7 +207,7 @@ class ThemisD : public SwitchHook {
   };
 
   // Per-flow verdict tallies, kept apart from FlowEntry so the pointers
-  // handed to CounterRegistry survive ResetFlowState().
+  // handed to CounterRegistry survive ResetFlowState() and evictions.
   struct FlowTelemetry {
     uint64_t nacks_valid = 0;
     uint64_t nacks_blocked = 0;
@@ -174,6 +224,10 @@ class ThemisD : public SwitchHook {
   bool HandleNack(Switch& sw, const Packet& pkt);
   void ObserveCumulativeAck(Switch& sw, uint32_t flow_id, FlowEntry& entry, uint32_t epsn);
   FlowTelemetry& TelemetryFor(uint32_t flow_id);
+  // Fail-open resolution of an evicted flow's armed state (Section 3.4
+  // obligation, parked grace NACK) — called by the flow table's eviction
+  // hook with the entry already unlinked.
+  void OnFlowEvicted(Switch& sw, uint32_t flow_id, FlowEntry&& entry, bool aged);
 
   // Grace-window resolution (all no-ops unless entry.grace_pending).
   void CancelGrace(Switch& sw, uint32_t flow_id, FlowEntry& entry);
@@ -184,13 +238,19 @@ class ThemisD : public SwitchHook {
   std::function<bool(const Packet&)> is_cross_rack_;
   bool enabled_ = true;
   // Last-flow cache for the data hot path: same-tick bursts are dominated by
-  // runs of packets from few flows, and unordered_map references stay valid
+  // runs of packets from few flows, and FlowTable entry pointers stay valid
   // across inserts, so one compare replaces the hash lookup for run-mates.
-  // Invalidated by ResetFlowState (the only place entries are removed).
+  // Invalidation contract: cleared by ResetFlowState AND whenever the cached
+  // flow itself is evicted (OnFlowEvicted) — eviction reuses the slot, so a
+  // stale pointer would alias the replacement flow's entry. cached_slot_
+  // keeps the clock reference bit honest on cache hits without re-probing.
   uint32_t cached_flow_id_ = 0;
   FlowEntry* cached_entry_ = nullptr;
-  std::unordered_map<uint32_t, FlowEntry> flows_;
+  int32_t cached_slot_ = -1;
+  FlowTable<FlowEntry> flows_;
   std::unordered_map<uint32_t, FlowTelemetry> flow_telemetry_;
+  FlowTelemetry overflow_telemetry_;  // shared bucket beyond telemetry_flow_cap
+  uint64_t telemetry_overflow_ = 0;   // tally events routed to the bucket
   ThemisDStats stats_;
   CounterRegistry* counter_registry_ = nullptr;
   std::string counter_prefix_;

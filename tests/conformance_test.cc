@@ -25,6 +25,7 @@
 #include "src/net/network.h"
 #include "src/rnic/rnic_host.h"
 #include "src/sim/random.h"
+#include "tests/reference_nic_sr.h"
 
 namespace themis {
 namespace {
@@ -72,53 +73,8 @@ struct ConformanceHarness {
   }
 };
 
-struct RefControl {
-  PacketType type;
-  uint32_t psn;
-};
-
-// Brute-force NIC-SR reference receiver, transliterated from the contract.
-class ReferenceNicSr {
- public:
-  std::vector<RefControl> Deliver(uint32_t psn, uint32_t payload) {
-    std::vector<RefControl> out;
-    if (psn == epsn_) {
-      bytes_ += payload;
-      ++epsn_;
-      nacked_current_ = false;
-      // Rescan: drain everything now contiguous.
-      for (auto it = ooo_.find(epsn_); it != ooo_.end(); it = ooo_.find(epsn_)) {
-        bytes_ += it->second;
-        ooo_.erase(it);
-        ++epsn_;
-      }
-      out.push_back({PacketType::kAck, epsn_});
-    } else if (psn > epsn_) {
-      if (ooo_.count(psn) != 0) {
-        out.push_back({PacketType::kAck, epsn_});  // duplicate: ACK so the sender advances
-      } else {
-        ooo_.emplace(psn, payload);
-        if (!nacked_current_) {
-          out.push_back({PacketType::kNack, epsn_});  // the ePSN, never the trigger PSN
-          nacked_current_ = true;
-        }
-      }
-    } else {
-      out.push_back({PacketType::kAck, epsn_});  // stale duplicate
-    }
-    return out;
-  }
-
-  uint32_t epsn() const { return epsn_; }
-  size_t ooo_size() const { return ooo_.size(); }
-  uint64_t bytes() const { return bytes_; }
-
- private:
-  uint32_t epsn_ = 0;
-  std::unordered_map<uint32_t, uint32_t> ooo_;  // psn -> payload
-  bool nacked_current_ = false;
-  uint64_t bytes_ = 0;
-};
+// Reference receiver: tests/reference_nic_sr.h (shared with the flow-table
+// fail-open property tests).
 
 // Tracks the stream-level invariants across a whole schedule.
 struct StreamInvariants {

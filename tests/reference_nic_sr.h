@@ -1,0 +1,67 @@
+// Brute-force NIC-SR reference receiver, transliterated from the paper's
+// Section 2.2 contract (a PSN set and a linear rescan — no ring buffers, no
+// incremental state). Shared by the conformance suite (which plays it
+// against the real ReceiverQp) and the flow-table fail-open property tests
+// (which use it as the ground-truth receiver behind an evicting Themis-D).
+
+#ifndef THEMIS_TESTS_REFERENCE_NIC_SR_H_
+#define THEMIS_TESTS_REFERENCE_NIC_SR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace themis {
+
+struct RefControl {
+  PacketType type;
+  uint32_t psn;
+};
+
+class ReferenceNicSr {
+ public:
+  std::vector<RefControl> Deliver(uint32_t psn, uint32_t payload) {
+    std::vector<RefControl> out;
+    if (psn == epsn_) {
+      bytes_ += payload;
+      ++epsn_;
+      nacked_current_ = false;
+      // Rescan: drain everything now contiguous.
+      for (auto it = ooo_.find(epsn_); it != ooo_.end(); it = ooo_.find(epsn_)) {
+        bytes_ += it->second;
+        ooo_.erase(it);
+        ++epsn_;
+      }
+      out.push_back({PacketType::kAck, epsn_});
+    } else if (psn > epsn_) {
+      if (ooo_.count(psn) != 0) {
+        out.push_back({PacketType::kAck, epsn_});  // duplicate: ACK so the sender advances
+      } else {
+        ooo_.emplace(psn, payload);
+        if (!nacked_current_) {
+          out.push_back({PacketType::kNack, epsn_});  // the ePSN, never the trigger PSN
+          nacked_current_ = true;
+        }
+      }
+    } else {
+      out.push_back({PacketType::kAck, epsn_});  // stale duplicate
+    }
+    return out;
+  }
+
+  uint32_t epsn() const { return epsn_; }
+  size_t ooo_size() const { return ooo_.size(); }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  uint32_t epsn_ = 0;
+  std::unordered_map<uint32_t, uint32_t> ooo_;  // psn -> payload
+  bool nacked_current_ = false;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_TESTS_REFERENCE_NIC_SR_H_

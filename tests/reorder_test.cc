@@ -43,9 +43,11 @@ struct ReorderHarness {
     dst_tor->AddHook(hook.get());
   }
 
-  void Arrive(uint32_t psn) {
+  void Arrive(uint32_t psn) { ArriveFlow(1, psn); }
+
+  void ArriveFlow(uint32_t flow, uint32_t psn) {
     dst_tor->ReceivePacket(
-        MakeDataPacket(1, hosts[0]->id(), hosts[1]->id(), psn, 1000, 0x77), /*in=*/1);
+        MakeDataPacket(flow, hosts[0]->id(), hosts[1]->id(), psn, 1000, 0x77), /*in=*/1);
   }
 
   std::vector<uint32_t> DeliveredPsns() {
@@ -135,6 +137,45 @@ TEST(ReorderHookTest, DuplicatesPassThrough) {
   h.Arrive(1);
   h.Arrive(0);  // retransmitted duplicate
   EXPECT_EQ(h.DeliveredPsns(), (std::vector<uint32_t>{0, 1, 0}));
+}
+
+// --- Bounded per-flow state (shared FlowTable substrate) --------------------
+
+TEST(ReorderHookTest, EvictionFlushesHeldPacketsInOrder) {
+  // Capacity 1: flow 2's first packet evicts flow 1 while flow 1 still has
+  // a held OOO packet and an armed flush timer. Eviction must release the
+  // held data in PSN order (fail open — buffered packets are never dropped)
+  // and the cancelled timer must not fire later.
+  ReorderHookConfig config;
+  config.flush_timeout = 10 * kMicrosecond;
+  config.flow_table.capacity = 1;
+  config.flow_table.policy = EvictionPolicy::kLruClock;
+  ReorderHarness h(config);
+  h.Arrive(0);
+  h.Arrive(3);  // held: gap at 1-2
+  h.Arrive(2);  // held
+  h.ArriveFlow(2, 0);  // evicts flow 1 mid-hold
+  EXPECT_EQ(h.hook->flow_table_stats().evictions, 1u);
+  EXPECT_EQ(h.hook->stats().eviction_flushes, 1u);
+  EXPECT_EQ(h.DeliveredPsns(), (std::vector<uint32_t>{0, 2, 3, 0}));
+  EXPECT_EQ(h.hook->stats().timeout_flushes, 0u);  // timer died with the entry
+  EXPECT_EQ(h.hook->total_buffered_bytes(), 0);
+}
+
+TEST(ReorderHookTest, RejectedFlowsPassThroughUnbuffered) {
+  // kNone + full table: the surplus flow gets no reorder shielding but its
+  // packets are forwarded untouched (OOO and all) — never held, never lost.
+  ReorderHookConfig config;
+  config.flow_table.capacity = 1;
+  config.flow_table.policy = EvictionPolicy::kNone;
+  ReorderHarness h(config);
+  h.Arrive(0);  // flow 1 owns the only slot
+  h.ArriveFlow(2, 0);
+  h.ArriveFlow(2, 2);  // OOO, but untracked: passes straight through
+  EXPECT_EQ(h.hook->stats().flows_rejected, 2u);
+  EXPECT_EQ(h.hook->flow_table_stats().evictions, 0u);
+  EXPECT_EQ(h.DeliveredPsns(), (std::vector<uint32_t>{0, 0, 2}));
+  EXPECT_EQ(h.hook->stats().packets_held, 0u);
 }
 
 // --- End-to-end as a Scheme -------------------------------------------------

@@ -214,16 +214,20 @@ struct ThemisDHarness {
   }
 
   // Injects a data packet as if arriving at the dst ToR from a spine.
-  void DataAtDstTor(uint32_t psn) {
+  void DataAtDstTor(uint32_t psn) { DataAtDstTorFlow(1, psn); }
+
+  void DataAtDstTorFlow(uint32_t flow, uint32_t psn) {
     // Port 0 of the ToR faces the host; ports 1..2 face spines.
     dst_tor->ReceivePacket(
-        MakeDataPacket(/*flow=*/1, sender->id(), receiver->id(), psn, 1000, 0x42), /*in=*/1);
+        MakeDataPacket(flow, sender->id(), receiver->id(), psn, 1000, 0x42), /*in=*/1);
   }
 
   // Injects a NACK as if emitted by the local receiver NIC.
-  void NackFromNic(uint32_t epsn) {
+  void NackFromNic(uint32_t epsn) { NackFromNicFlow(1, epsn); }
+
+  void NackFromNicFlow(uint32_t flow, uint32_t epsn) {
     dst_tor->ReceivePacket(
-        MakeControlPacket(PacketType::kNack, 1, receiver->id(), sender->id(), epsn, 0x42),
+        MakeControlPacket(PacketType::kNack, flow, receiver->id(), sender->id(), epsn, 0x42),
         /*in=*/0);
   }
 
@@ -693,6 +697,170 @@ TEST(ThemisDGraceTest, InertWithoutPauses) {
   EXPECT_EQ(h.SenderNacks(), 1u);
   EXPECT_EQ(h.hook->stats().nacks_forwarded_valid, 1u);
   EXPECT_EQ(h.hook->stats().grace_deferred, 0u);
+}
+
+// --- Bounded flow table on a real ToR (§4 register-array realism) --------------
+
+ThemisDConfig BoundedConfig(size_t capacity, EvictionPolicy policy, TimePs idle_timeout = 0) {
+  ThemisDConfig config{.num_paths = 2,
+                       .queue_capacity = 16,
+                       .truncate_entries = true,
+                       .compensation_enabled = true};
+  config.flow_table.capacity = capacity;
+  config.flow_table.policy = policy;
+  config.flow_table.idle_timeout = idle_timeout;
+  return config;
+}
+
+TEST(ThemisDFlowTableTest, EvictedFlowNackFailsOpen) {
+  // Capacity 1: flow 2's first packet evicts flow 1. Flow 1's NACK then
+  // misses the table and must be forwarded unvalidated (fail open) — even
+  // though an unbounded table would have blocked it (3 mod 2 != 2 mod 2).
+  ThemisDHarness h(BoundedConfig(1, EvictionPolicy::kLruClock));
+  h.DataAtDstTor(0);
+  h.DataAtDstTor(1);
+  h.DataAtDstTor(3);
+  h.DataAtDstTorFlow(2, 0);
+  EXPECT_EQ(h.hook->stats().flows_evicted, 1u);
+  EXPECT_EQ(h.hook->flow_count(), 1u);
+  h.NackFromNic(2);
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  EXPECT_EQ(h.hook->stats().nacks_blocked, 0u);
+  // The miss never even counts as "seen": the ToR has no state to judge by.
+  EXPECT_EQ(h.hook->stats().nacks_seen, 0u);
+}
+
+TEST(ThemisDFlowTableTest, CachedEntryInvalidatedWhenCachedFlowEvictedMidBurst) {
+  // Regression for the cached_entry_ contract: the old comment claimed
+  // ResetFlowState was the only removal path, so eviction reusing the
+  // cached flow's slot would leave a stale pointer aliasing the replacement
+  // flow's entry — flow 1's next packet would land in flow 2's PSN ring.
+  ThemisDHarness h(BoundedConfig(1, EvictionPolicy::kLruClock));
+  h.DataAtDstTor(0);  // flow 1 cached
+  h.DataAtDstTor(1);  // cache hit
+  h.DataAtDstTorFlow(2, 0);  // evicts flow 1 (capacity 1) and reuses its slot
+  EXPECT_EQ(h.hook->stats().flows_evicted, 1u);
+  h.DataAtDstTor(10);  // must re-create flow 1, not write through the stale cache
+  EXPECT_EQ(h.hook->stats().flows_created, 3u);
+  // The NACK proves PSN 10 sits in *flow 1's* ring: tPSN 10 is recovered and
+  // Eq. 3 blocks (10 mod 2 != 9 mod 2). A stale cache would have left flow 1
+  // untracked -> forwarded unmatched instead.
+  h.NackFromNic(9);
+  EXPECT_EQ(h.hook->stats().nacks_seen, 1u);
+  EXPECT_EQ(h.hook->stats().nacks_blocked, 1u);
+  EXPECT_EQ(h.SenderNacks(), 0u);
+}
+
+TEST(ThemisDFlowTableTest, ArmedCompensationDeliveredAtEviction) {
+  // Section 3.4 obligation under eviction: flow 1's blocked NACK armed a
+  // BePSN compensation; evicting the flow must deliver that NACK (the RNIC
+  // will never re-NACK the ePSN), not silently drop the obligation.
+  ThemisDHarness h(BoundedConfig(1, EvictionPolicy::kLruClock));
+  h.DataAtDstTor(0);
+  h.DataAtDstTor(1);
+  h.DataAtDstTor(3);
+  h.NackFromNic(2);  // tPSN 3, different path -> blocked, compensation armed
+  EXPECT_EQ(h.hook->stats().nacks_blocked, 1u);
+  h.DataAtDstTorFlow(2, 0);  // evicts flow 1 with the compensation still armed
+  EXPECT_EQ(h.hook->stats().compensations_evicted, 1u);
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  EXPECT_EQ(h.sender->received.back().type, PacketType::kNack);
+  EXPECT_EQ(h.sender->received.back().psn, 2u);
+}
+
+TEST(ThemisDFlowTableTest, ParkedGraceNackReleasedAtEviction) {
+  // A pause-deferred NACK is flow state too: eviction must release it to
+  // the sender (fail open — a withheld loss signal must not vanish), not
+  // dangle it.
+  ThemisDConfig config = GraceConfig();
+  config.flow_table.capacity = 1;
+  config.flow_table.policy = EvictionPolicy::kLruClock;
+  ThemisDHarness h(config);
+  EnablePfcAtDstTor(h);
+  BlastSuspectPattern(h);
+  h.sim.Schedule(30 * kNanosecond, [&h] { h.NackFromNic(4); });
+  h.sim.Schedule(200 * kNanosecond, [&h] { h.DataAtDstTorFlow(2, 0); });
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  EXPECT_EQ(h.hook->stats().grace_deferred, 1u);
+  EXPECT_EQ(h.hook->stats().grace_evicted, 1u);
+  EXPECT_EQ(h.hook->stats().grace_expired, 0u);
+  EXPECT_EQ(h.sender->received.back().type, PacketType::kNack);
+  EXPECT_EQ(h.sender->received.back().psn, 4u);
+}
+
+TEST(ThemisDFlowTableTest, ResetFlowStateInteractsCleanlyWithAging) {
+  // Reboot-flush x aging: Clear() drops entries and the clock hand but
+  // keeps cumulative stats; aging keeps working on the repopulated table.
+  ThemisDHarness h(BoundedConfig(4, EvictionPolicy::kIdleTimeout, 1 * kMicrosecond));
+  h.DataAtDstTor(0);
+  h.DataAtDstTorFlow(2, 0);
+  h.DataAtDstTorFlow(3, 0);
+  EXPECT_EQ(h.hook->flow_count(), 3u);
+  h.hook->ResetFlowState();
+  EXPECT_EQ(h.hook->flow_count(), 0u);
+  EXPECT_EQ(h.hook->flow_table_stats().inserts, 3u);  // cumulative, survives
+  // The flushed flows' NACKs fail open, and their state cannot age out
+  // twice: nothing dangles from before the reset.
+  h.NackFromNic(0);
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  // Repopulate after the reset; idle aging still reclaims quiet entries.
+  h.sim.Schedule(2 * kMicrosecond, [&h] { h.DataAtDstTorFlow(5, 0); });
+  h.sim.Schedule(4 * kMicrosecond, [&h] { h.DataAtDstTorFlow(6, 0); });
+  h.sim.Run();
+  EXPECT_EQ(h.hook->stats().flows_aged_out, 1u);  // flow 5 idle > 1 us at t=4 us
+  EXPECT_EQ(h.hook->flow_count(), 1u);
+  EXPECT_EQ(h.hook->stats().flows_evicted, 0u);
+}
+
+TEST(ThemisDFlowTableTest, TelemetryAggregatesBeyondFlowCap) {
+  // Per-flow counter columns register lazily; beyond telemetry_flow_cap the
+  // tallies land in one shared overflow bucket so the registry stays
+  // bounded at million-flow scale.
+  ThemisDConfig config = BoundedConfig(0, EvictionPolicy::kNone);
+  config.telemetry_flow_cap = 2;
+  ThemisDHarness h(config);
+  CounterRegistry registry;
+  h.hook->set_telemetry(&registry, "themis");
+  const size_t columns_after_attach = registry.size();
+  for (uint32_t flow = 1; flow <= 4; ++flow) {
+    h.DataAtDstTorFlow(flow, 0);
+    h.DataAtDstTorFlow(flow, 1);
+    h.DataAtDstTorFlow(flow, 3);
+  }
+  // Flows 1 and 2 got their own columns; 3 and 4 hit the cap.
+  const size_t per_flow_columns = registry.size() - columns_after_attach;
+  EXPECT_EQ(per_flow_columns % 2, 0u);
+  for (uint32_t flow = 1; flow <= 4; ++flow) {
+    h.NackFromNicFlow(flow, 2);  // blocked: tallies into per-flow or overflow
+  }
+  EXPECT_EQ(h.hook->stats().nacks_blocked, 4u);
+  const int overflow = registry.Find("themis.flow_table.telemetry_overflow");
+  ASSERT_GE(overflow, 0);
+  // Two provisioning touches (flows 3, 4) + two blocked-NACK tallies.
+  EXPECT_EQ(registry.Read(static_cast<size_t>(overflow)), 4.0);
+  // The registry did NOT grow new columns for flows 3 and 4.
+  EXPECT_EQ(registry.Find("themis.flow3.nack_blocked"), -1);
+  const int occupancy = registry.Find("themis.flow_table.occupancy");
+  ASSERT_GE(occupancy, 0);
+  EXPECT_EQ(registry.Read(static_cast<size_t>(occupancy)), 4.0);
+}
+
+TEST(ThemisDFlowTableTest, RejectsInsertWhenFullWithoutEvictionPolicy) {
+  // kNone + capacity: the register array refuses new flows (fail open —
+  // their packets pass untracked) rather than sacrificing live state.
+  ThemisDHarness h(BoundedConfig(2, EvictionPolicy::kNone));
+  h.DataAtDstTor(0);
+  h.DataAtDstTorFlow(2, 0);
+  h.DataAtDstTorFlow(3, 0);  // table full: rejected, forwarded untracked
+  EXPECT_EQ(h.hook->flow_count(), 2u);
+  EXPECT_EQ(h.hook->stats().flows_rejected, 1u);
+  EXPECT_EQ(h.hook->stats().flows_evicted, 0u);
+  // The rejected flow's NACK fails open like any unknown flow's.
+  h.NackFromNicFlow(3, 0);
+  EXPECT_EQ(h.SenderNacks(), 1u);
+  // Data still reached the receiver despite being untracked.
+  h.sim.Run();
+  EXPECT_EQ(h.receiver->received.size(), 3u);
 }
 
 TEST(ThemisSTest, DoesNotRewriteIntraRackTraffic) {
