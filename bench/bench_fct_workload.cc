@@ -8,12 +8,20 @@
 // in-network. Both should tame RandomSpray's p99 slowdown: the raw spray
 // baseline burns bandwidth on spurious retransmissions under incast.
 //
+// The case list, per-case config, and CSV cell formatting live in
+// src/experiment_service/grids.cc so this bench, sweep_cli's sharded runs,
+// and the shard-invariance tests all produce byte-identical tables. The
+// bench adds the pretty-printed analyses on top.
+//
 // Env knobs:
 //   THEMIS_FCT_SMOKE=1    tiny CI configuration (seconds, not minutes)
 //   THEMIS_FCT_CSV=path   also write the slowdown table as CSV
 //   THEMIS_SWEEP_THREADS  sweep parallelism; output is byte-identical for
 //                         any value (cases are pure functions of their
 //                         inputs, collected and printed in sweep order)
+//   THEMIS_SHARDS=N       shard mode: run slice THEMIS_SHARD_INDEX of the
+//                         grid into THEMIS_SHARD_DIR and exit (see
+//                         src/experiment_service/grids.h)
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,51 +29,14 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/experiment_service/grids.h"
 #include "src/workload/flow_driver.h"
 
 namespace themis {
 namespace {
 
-struct FctScheme {
-  const char* label;
-  Scheme scheme;
-  SprayMode spray;
-  bool pfc;
-  bool grace;
-  // > 0: attach the fluid background model at this offered load — the hybrid
-  // ablation row, showing each scheme's FCT under modelled exogenous
-  // pressure without paying for packet-level background flows.
-  double background_load = 0.0;
-};
-
-// The bench's comparison set. Spray mode only matters under kThemis. The
-// no-PFC Themis-D variant isolates the spurious-valid-NACK effect: with PFC
-// on, pause storms can delay a packet long enough that the switch forwards
-// a NACK as "valid" (Eq. 3 satisfied) even though the packet was merely
-// stalled, not lost — the receiver then sees the original arrive after all.
-// The noGrace ablation turns the pause-aware grace window off, reproducing
-// the pre-fix spurious-valid numbers; default Themis-D should close most of
-// the gap to the noPFC row.
-constexpr FctScheme kFctSchemes[] = {
-    {"ECMP", Scheme::kEcmp, SprayMode::kTorEgress, true, true},
-    {"RandomSpray", Scheme::kRandomSpray, SprayMode::kTorEgress, true, true},
-    {"Themis-S", Scheme::kThemis, SprayMode::kSportRewrite, true, true},
-    {"Themis-D", Scheme::kThemis, SprayMode::kTorEgress, true, true},
-    {"Themis-D/noGrace", Scheme::kThemis, SprayMode::kTorEgress, true, false},
-    {"Themis-D/noPFC", Scheme::kThemis, SprayMode::kTorEgress, false, true},
-    {"ECMP/hybridBg", Scheme::kEcmp, SprayMode::kTorEgress, true, true, 0.4},
-    {"Themis-D/hybridBg", Scheme::kThemis, SprayMode::kTorEgress, true, true, 0.4},
-};
-
-struct FctCase {
-  FctScheme scheme;
-  const FlowSizeCdf* cdf;
-  double load;
-  std::string name;
-};
-
 struct FctOutcome {
-  FctCase spec;
+  FctCaseSpec spec;
   FctWorkloadResult result;
 };
 
@@ -74,85 +45,21 @@ bool SmokeMode() {
   return env != nullptr && *env == '1';
 }
 
-// Paper-rate (400 Gbps) leaf-spine, scaled down in radix so a full sweep
-// runs in seconds. The fabric seed matches the workload seed so a case is
-// one reproducible experiment end to end.
-ExperimentConfig FctFabric(const FctScheme& scheme, bool smoke) {
-  ExperimentConfig config;
-  config.seed = 42;
-  config.num_tors = smoke ? 2 : 4;
-  config.num_spines = smoke ? 2 : 4;
-  config.hosts_per_tor = 4;
-  config.link_rate = Rate::Gbps(400);
-  config.scheme = scheme.scheme;
-  config.themis_spray_mode = scheme.spray;
-  config.pfc_enabled = scheme.pfc;
-  config.themis_pause_grace = scheme.grace;
-  if (scheme.background_load > 0.0) {
-    config.traffic_model = TrafficModelKind::kFluid;
-    config.background_load = scheme.background_load;
-  }
-  return config;
-}
-
-WorkloadSpec FctWorkloadSpec(double load, bool smoke) {
-  WorkloadSpec spec;
-  spec.pattern = TrafficPattern::kIncastMix;
-  spec.load = load;
-  spec.window = smoke ? 200 * kMicrosecond : 2 * kMillisecond;
-  spec.incast_fanin = smoke ? 4 : 8;
-  spec.incast_fraction = 0.5;
-  spec.seed = 42;
-  spec.max_flows = smoke ? 48 : 1'000;
-  return spec;
-}
-
-FctOutcome RunCase(const FctCase& c, bool smoke) {
-  const WorkloadSpec workload = FctWorkloadSpec(c.load, smoke);
-  // Open-loop arrivals stop at the window's end; the fabric then gets ample
-  // drain time. The driver Stop()s the simulator at the last completion, so
-  // the deadline only bites when flows are stuck (counted as incomplete).
-  const TimePs deadline = workload.window * 40;
-  FctOutcome out;
-  out.spec = c;
-  out.result = RunFctWorkload(FctFabric(c.scheme, smoke), workload, *c.cdf, deadline);
-  return out;
-}
-
 int FctMain() {
   const bool smoke = SmokeMode();
-  const std::vector<double> loads = smoke ? std::vector<double>{0.3, 0.6}
-                                          : std::vector<double>{0.4, 0.8};
-  const std::vector<const FlowSizeCdf*> cdfs =
-      smoke ? std::vector<const FlowSizeCdf*>{&FlowSizeCdf::AliStorage()}
-            : std::vector<const FlowSizeCdf*>{&FlowSizeCdf::WebSearch(),
-                                              &FlowSizeCdf::AliStorage()};
-
-  std::vector<FctCase> cases;
-  for (const FlowSizeCdf* cdf : cdfs) {
-    for (double load : loads) {
-      for (const FctScheme& scheme : kFctSchemes) {
-        FctCase c;
-        c.scheme = scheme;
-        c.cdf = cdf;
-        c.load = load;
-        c.name = std::string("FCT/") + cdf->name() + "/load=" + FormatDouble(load, 1) + "/" +
-                 scheme.label;
-        cases.push_back(c);
-      }
-    }
+  if (ShardEnvRequested()) {
+    return RunShardFromEnv(FctGridDef(smoke));
   }
 
+  const std::vector<FctCaseSpec> cases = FctGridCases(smoke);
   std::printf("bench_fct_workload: %zu cases (incast-heavy mix, %s scale)\n", cases.size(),
               smoke ? "smoke" : "full");
 
   SweepRunner runner;
   const std::vector<FctOutcome> outcomes =
-      runner.Map(cases, [smoke](const FctCase& c) { return RunCase(c, smoke); });
+      runner.Map(cases, [](const FctCaseSpec& c) { return FctOutcome{c, RunFctGridCase(c)}; });
 
-  Table table({"dist", "load", "scheme", "flows", "done", "p50", "p95", "p99",
-               "goodput_gbps", "rtx_ratio", "drops", "nacks_valid", "spurious", "grace_defer",
-               "grace_cancel"});
+  Table table(SplitCsvHeader(kFctCsvHeader));
   int failures = 0;
   for (const FctOutcome& o : outcomes) {
     const FctWorkloadResult& r = o.result;
@@ -163,15 +70,7 @@ int FctMain() {
     }
     std::printf("%-44s p99 slowdown %.2f (%zu/%zu flows)\n", o.spec.name.c_str(),
                 r.slowdown.p99, r.flows_completed, r.flows_total);
-    table.AddRow({o.spec.cdf->name(), FormatDouble(o.spec.load, 1), o.spec.scheme.label,
-                  std::to_string(r.flows_total), std::to_string(r.flows_completed),
-                  FormatDouble(r.slowdown.p50, 2), FormatDouble(r.slowdown.p95, 2),
-                  FormatDouble(r.slowdown.p99, 2), FormatDouble(r.goodput_gbps, 2),
-                  FormatDouble(r.rtx_ratio, 4), std::to_string(r.drops),
-                  std::to_string(r.themis.nacks_forwarded_valid),
-                  std::to_string(r.themis.nacks_forwarded_spurious),
-                  std::to_string(r.themis.grace_deferred),
-                  std::to_string(r.themis.grace_cancelled)});
+    table.AddRow(FctCsvCells(o.spec, r));
   }
 
   std::printf("\n=== FCT slowdown — incast-heavy mix (p50/p95/p99, lower is better) ===\n");
@@ -180,24 +79,15 @@ int FctMain() {
   // Per (dist, load): how much p99 slowdown each Themis variant saves over
   // the naive spray baseline (the paper's motivating comparison).
   std::printf("\np99 slowdown relative to RandomSpray (<1.0 = better):\n");
-  for (const FlowSizeCdf* cdf : cdfs) {
-    for (double load : loads) {
-      double spray_p99 = 0.0;
-      for (const FctOutcome& o : outcomes) {
-        if (o.spec.cdf == cdf && o.spec.load == load &&
-            o.spec.scheme.scheme == Scheme::kRandomSpray) {
-          spray_p99 = o.result.slowdown.p99;
-        }
-      }
-      if (spray_p99 <= 0.0) {
-        continue;
-      }
-      for (const FctOutcome& o : outcomes) {
-        if (o.spec.cdf == cdf && o.spec.load == load &&
-            o.spec.scheme.scheme == Scheme::kThemis) {
-          std::printf("  %-12s load=%.1f %-14s %.3f\n", cdf->name().c_str(), load,
-                      o.spec.scheme.label, o.result.slowdown.p99 / spray_p99);
-        }
+  for (const FctOutcome& base : outcomes) {
+    if (base.spec.scheme.scheme != Scheme::kRandomSpray || base.result.slowdown.p99 <= 0.0) {
+      continue;
+    }
+    for (const FctOutcome& o : outcomes) {
+      if (o.spec.cdf == base.spec.cdf && o.spec.load == base.spec.load &&
+          o.spec.scheme.scheme == Scheme::kThemis) {
+        std::printf("  %-12s load=%.1f %-14s %.3f\n", o.spec.cdf->name().c_str(), o.spec.load,
+                    o.spec.scheme.label, o.result.slowdown.p99 / base.result.slowdown.p99);
       }
     }
   }

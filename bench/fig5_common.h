@@ -8,64 +8,26 @@
 // Routing, Themis. DCQCN (TI, TD) in {(900,4),(300,4),(10,4),(10,50),
 // (10,200)} microseconds.
 //
-// The 15 sweep points are independent single-threaded simulations, so they
-// run in parallel on a SweepRunner pool (THEMIS_SWEEP_THREADS=1 forces the
-// old serial behaviour); results are collected and printed in sweep order
-// regardless of thread count.
+// The sweep itself — case list, per-case config, summary-row formatting —
+// lives in src/experiment_service/grids.cc (Fig5GridDef) so this bench,
+// sweep_cli's sharded runs, and the merge tests agree byte-for-byte. The
+// 15 points are independent single-threaded simulations, so they run in
+// parallel on a SweepRunner pool (THEMIS_SWEEP_THREADS=1 forces the old
+// serial behaviour); results are collected and printed in sweep order
+// regardless of thread count. THEMIS_SHARDS=N switches the binary into
+// shard mode (see src/experiment_service/grids.h).
 
 #ifndef THEMIS_BENCH_FIG5_COMMON_H_
 #define THEMIS_BENCH_FIG5_COMMON_H_
 
 #include "bench/bench_common.h"
+#include "src/experiment_service/grids.h"
 
 namespace themis {
 namespace benchutil {
 
-struct DcqcnPoint {
-  int64_t ti_us;
-  int64_t td_us;
-};
-
-inline constexpr DcqcnPoint kFig5Sweep[] = {
-    {900, 4}, {300, 4}, {10, 4}, {10, 50}, {10, 200},
-};
-
-inline constexpr Scheme kFig5Schemes[] = {Scheme::kEcmp, Scheme::kAdaptiveRouting,
-                                          Scheme::kThemis};
-
-inline ExperimentConfig Fig5Config(Scheme scheme, const DcqcnPoint& point) {
-  ExperimentConfig config;  // defaults are the paper's 16x16 @ 400G fabric
-  config.scheme = scheme;
-  config.dcqcn_ti = point.ti_us * kMicrosecond;
-  config.dcqcn_td = point.td_us * kMicrosecond;
-  return config;
-}
-
-inline CaseResult RunFig5Case(CollectiveKind kind, Scheme scheme, const DcqcnPoint& point,
-                              uint64_t bytes, const std::string& name) {
-  CaseResult out;
-  out.name = name;
-
-  Experiment exp(Fig5Config(scheme, point));
-  auto groups = exp.MakeCrossRackGroups(16);
-  auto result = exp.RunCollective(kind, groups, bytes, 60 * kSecond);
-  if (!result.all_done) {
-    out.error = "collective did not finish before the deadline";
-    return out;
-  }
-
-  out.ok = true;
-  out.sim_seconds = ToSeconds(result.tail_completion);
-  out.row.config = "(TI=" + std::to_string(point.ti_us) + "us,TD=" + std::to_string(point.td_us) +
-                   "us)";
-  out.row.scheme = SchemeName(scheme);
-  out.row.completion_ms = ToMilliseconds(result.tail_completion);
-  out.row.rtx_ratio = exp.AggregateRetransmissionRatio();
-  out.row.nacks_to_sender = exp.TotalNacksReceived();
-  out.row.nacks_blocked =
-      exp.themis() != nullptr ? exp.themis()->AggregateDStats().nacks_blocked : 0;
-  out.row.drops = exp.TotalPortDrops();
-  return out;
+inline const char* Fig5GridName(CollectiveKind kind) {
+  return kind == CollectiveKind::kAllreduce ? "fig5-allreduce" : "fig5-alltoall";
 }
 
 // Runs the 15-case sweep for one collective on the thread pool.
@@ -73,33 +35,35 @@ inline int Fig5Main(int argc, char** argv, CollectiveKind kind, const char* figu
                     uint64_t default_mib) {
   (void)argc;
   (void)argv;
-  const uint64_t bytes = MessageBytes(default_mib);
-
-  struct Fig5Case {
-    DcqcnPoint point;
-    Scheme scheme;
-    std::string name;
-  };
-  std::vector<Fig5Case> cases;
-  for (const DcqcnPoint& point : kFig5Sweep) {
-    for (Scheme scheme : kFig5Schemes) {
-      const std::string name = std::string(figure_name) + "/" + SchemeName(scheme) + "/TI=" +
-                               std::to_string(point.ti_us) + "us/TD=" +
-                               std::to_string(point.td_us) + "us";
-      cases.push_back(Fig5Case{point, scheme, name});
-    }
+  const uint64_t bytes = SweepMessageBytes(default_mib);
+  if (ShardEnvRequested()) {
+    return RunShardFromEnv(Fig5GridDef(kind, bytes, Fig5GridName(kind), figure_name));
   }
 
-  SweepRunner runner;
-  std::printf("%s: %zu sweep points on %d threads\n", figure_name, cases.size(),
-              runner.threads());
-  auto results = runner.Map(cases, [kind, bytes](const Fig5Case& c) {
-    return RunFig5Case(kind, c.scheme, c.point, bytes, c.name);
-  });
+  const std::vector<Fig5CaseSpec> cases = Fig5GridCases(kind, bytes, figure_name);
 
-  const int failures = EmitCaseResults(results);
-  PrintSummary(std::string(figure_name) + " — tail communication completion time (" +
-               std::to_string(bytes >> 20) + " MiB per collective; paper uses 300 MB)");
+  SweepRunner runner;
+  std::printf("%s: %zu sweep points\n", figure_name, cases.size());
+  const auto results =
+      runner.Map(cases, [](const Fig5CaseSpec& c) { return RunFig5GridCase(c); });
+
+  Table table(SplitCsvHeader(kFig5CsvHeader));
+  int failures = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Fig5Outcome& out = results[i];
+    if (!out.ok) {
+      std::printf("%-48s SKIPPED: %s\n", cases[i].name.c_str(), out.error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-48s sim=%.3f ms\n", cases[i].name.c_str(), out.sim_seconds * 1e3);
+    table.AddRow(out.cells);
+  }
+
+  std::printf("\n=== %s — tail communication completion time (%llu MiB per collective; "
+              "paper uses 300 MB) ===\n",
+              figure_name, static_cast<unsigned long long>(bytes >> 20));
+  table.Print();
   return failures == 0 ? 0 : 1;
 }
 

@@ -34,9 +34,17 @@ class SweepRunner {
   int threads() const { return threads_; }
 
   // Calls fn(i) for every i in [0, count), distributing indices over the
-  // pool via an atomic work counter. Blocks until all items finish. If any
-  // item throws, the first exception (by completion order) is rethrown on
-  // the calling thread after the pool drains.
+  // pool via an atomic work counter. Blocks until all items finish.
+  //
+  // Contract (the experiment service's shard executor leans on all three):
+  //   * count == 0 is a no-op; count == 1 runs inline with no pool.
+  //   * At most min(threads, count) workers are spawned, and every index is
+  //     invoked exactly once — threads > count never double-runs an item.
+  //   * A throwing item never aborts the sweep: every other index still
+  //     runs, and the first exception (by completion order) is rethrown on
+  //     the calling thread after the drain. Serial and parallel execution
+  //     behave identically here, so results computed for non-throwing items
+  //     survive regardless of thread count.
   template <typename Fn>
   void RunIndexed(size_t count, Fn&& fn) const {
     if (count == 0) {
@@ -44,8 +52,18 @@ class SweepRunner {
     }
     const size_t workers = std::min(static_cast<size_t>(threads_), count);
     if (workers <= 1) {
+      std::exception_ptr first_error;
       for (size_t i = 0; i < count; ++i) {
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+      if (first_error) {
+        std::rethrow_exception(first_error);
       }
       return;
     }

@@ -1,0 +1,268 @@
+#include "src/experiment_service/config_hash.h"
+
+#include <cstdio>
+
+namespace themis {
+namespace {
+
+// Layout tripwires: adding a field to any serialized struct changes its size
+// on x86-64 Linux (the only platform this repo builds on in CI) and fails
+// this build until AppendFields — and the pinned sizes below — are updated.
+// Reordering without resizing still trips the config-hash golden table.
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(ExperimentConfig) == 376,
+              "ExperimentConfig layout changed: update AppendFields(), this assert, and "
+              "regenerate the config-hash goldens (cmake --build build --target regen-goldens)");
+static_assert(sizeof(WorkloadSpec) == 56,
+              "WorkloadSpec layout changed: update AppendFields() and the pinned size");
+static_assert(sizeof(EcnProfile) == 32,
+              "EcnProfile layout changed: update AppendFields() and the pinned size");
+static_assert(sizeof(ReorderHookConfig) == 48,
+              "ReorderHookConfig layout changed: update AppendFields() and the pinned size");
+static_assert(sizeof(FlowTableConfig) == 32,
+              "FlowTableConfig layout changed: update AppendFields() and the pinned size");
+static_assert(sizeof(ScenarioScript) == 48,
+              "ScenarioScript layout changed: update AppendFields() and the pinned size");
+static_assert(sizeof(ScenarioEvent) == 120,
+              "ScenarioEvent layout changed: update AppendFields() and the pinned size");
+static_assert(sizeof(DownTimeSpec) == 24,
+              "DownTimeSpec layout changed: update AppendFields() and the pinned size");
+#endif
+
+constexpr const char* SprayModeToken(SprayMode mode) {
+  switch (mode) {
+    case SprayMode::kTorEgress:
+      return "tor-egress";
+    case SprayMode::kSportRewrite:
+      return "sport-rewrite";
+  }
+  return "?";
+}
+
+constexpr const char* CcKindToken(CcKind cc) {
+  switch (cc) {
+    case CcKind::kDcqcn:
+      return "dcqcn";
+    case CcKind::kFixedRate:
+      return "fixed-rate";
+  }
+  return "?";
+}
+
+constexpr const char* DownTimeDistToken(DownTimeSpec::Dist dist) {
+  switch (dist) {
+    case DownTimeSpec::Dist::kFixed:
+      return "fixed";
+    case DownTimeSpec::Dist::kUniform:
+      return "uniform";
+    case DownTimeSpec::Dist::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+void AppendFlowTable(ConfigHasher& h, std::string_view prefix, const FlowTableConfig& ft) {
+  const std::string p(prefix);
+  h.Field(p + ".capacity", static_cast<uint64_t>(ft.capacity));
+  h.Field(p + ".policy", EvictionPolicyName(ft.policy));
+  h.Field(p + ".idle_timeout", ft.idle_timeout);
+  h.Field(p + ".entry_bytes", static_cast<uint64_t>(ft.entry_bytes));
+}
+
+}  // namespace
+
+void ConfigHasher::AppendLine(std::string_view name, std::string_view value) {
+  const auto mix = [this](std::string_view s) {
+    for (const char ch : s) {
+      hash_ ^= static_cast<unsigned char>(ch);
+      hash_ *= kFnvPrime;
+    }
+  };
+  mix(name);
+  mix("=");
+  mix(value);
+  mix("\n");
+  text_.append(name);
+  text_.push_back('=');
+  text_.append(value);
+  text_.push_back('\n');
+}
+
+void ConfigHasher::Field(std::string_view name, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  AppendLine(name, buf);
+}
+
+void ConfigHasher::Field(std::string_view name, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  AppendLine(name, buf);
+}
+
+void ConfigHasher::Field(std::string_view name, bool value) {
+  AppendLine(name, value ? "1" : "0");
+}
+
+void ConfigHasher::Field(std::string_view name, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  AppendLine(name, buf);
+}
+
+void ConfigHasher::Field(std::string_view name, std::string_view value) {
+  AppendLine(name, value);
+}
+
+void AppendFields(ConfigHasher& h, const ExperimentConfig& c) {
+  h.Field("seed", c.seed);
+  h.Field("fabric", FabricKindName(c.fabric));
+  h.Field("fat_tree_k", c.fat_tree_k);
+  h.Field("num_tors", c.num_tors);
+  h.Field("num_spines", c.num_spines);
+  h.Field("hosts_per_tor", c.hosts_per_tor);
+  h.Field("link_rate_bps", c.link_rate.bps());
+  h.Field("link_delay", c.link_delay);
+  h.Field("fabric_delay_skew", c.fabric_delay_skew);
+  h.Field("switch_buffer_bytes", c.switch_buffer_bytes);
+  h.Field("port_queue_bytes", c.port_queue_bytes);
+  h.Field("ecn.kmin_bytes", c.ecn.kmin_bytes);
+  h.Field("ecn.kmax_bytes", c.ecn.kmax_bytes);
+  h.Field("ecn.pmax", c.ecn.pmax);
+  h.Field("ecn.enabled", c.ecn.enabled);
+  h.Field("pfc_enabled", c.pfc_enabled);
+  h.Field("pfc_xoff_bytes", c.pfc_xoff_bytes);
+  h.Field("pfc_xon_bytes", c.pfc_xon_bytes);
+  h.Field("scheme", SchemeName(c.scheme));
+  h.Field("themis_spray_mode", SprayModeToken(c.themis_spray_mode));
+  h.Field("themis_compensation", c.themis_compensation);
+  h.Field("themis_truncate_queue_entries", c.themis_truncate_queue_entries);
+  h.Field("themis_queue_expansion", c.themis_queue_expansion);
+  h.Field("themis_pause_grace", c.themis_pause_grace);
+  h.Field("themis_grace_lookback", c.themis_grace_lookback);
+  h.Field("themis_grace_slack", c.themis_grace_slack);
+  h.Field("themis_flow_capacity", static_cast<uint64_t>(c.themis_flow_capacity));
+  h.Field("themis_aging", EvictionPolicyName(c.themis_aging));
+  h.Field("themis_idle_timeout", c.themis_idle_timeout);
+  h.Field("flowlet_gap", c.flowlet_gap);
+  h.Field("reorder.per_flow_buffer_bytes", c.reorder.per_flow_buffer_bytes);
+  h.Field("reorder.flush_timeout", c.reorder.flush_timeout);
+  AppendFlowTable(h, "reorder.flow_table", c.reorder.flow_table);
+  h.Field("traffic_model", TrafficModelKindName(c.traffic_model));
+  h.Field("background_load", c.background_load);
+  h.Field("traffic_burstiness", c.traffic_burstiness);
+  h.Field("traffic_epoch", c.traffic_epoch);
+  h.Field("scenario.seed", c.scenario.seed);
+  h.Field("scenario.sample_period", c.scenario.sample_period);
+  h.Field("scenario.restore_fraction", c.scenario.restore_fraction);
+  h.Field("scenario.events", static_cast<uint64_t>(c.scenario.events.size()));
+  for (size_t i = 0; i < c.scenario.events.size(); ++i) {
+    const ScenarioEvent& e = c.scenario.events[i];
+    const std::string p = "scenario.event" + std::to_string(i);
+    h.Field(p + ".kind", FaultKindName(e.kind));
+    h.Field(p + ".target", e.target);
+    h.Field(p + ".at", e.at);
+    h.Field(p + ".repeat", e.repeat);
+    h.Field(p + ".period", e.period);
+    h.Field(p + ".down.dist", DownTimeDistToken(e.down.dist));
+    h.Field(p + ".down.a", e.down.a);
+    h.Field(p + ".down.b", e.down.b);
+    h.Field(p + ".duration", e.duration);
+    h.Field(p + ".drop_prob", e.drop_prob);
+    h.Field(p + ".corrupt_prob", e.corrupt_prob);
+    h.Field(p + ".factor", e.factor);
+  }
+  h.Field("transport", TransportKindName(c.transport));
+  h.Field("cc", CcKindToken(c.cc));
+  h.Field("dcqcn_ti", c.dcqcn_ti);
+  h.Field("dcqcn_td", c.dcqcn_td);
+  h.Field("fixed_rate_bps", c.fixed_rate.bps());
+  h.Field("mtu_bytes", static_cast<uint64_t>(c.mtu_bytes));
+  h.Field("retransmit_timeout", c.retransmit_timeout);
+}
+
+void AppendFields(ConfigHasher& h, const WorkloadSpec& w) {
+  h.Field("workload.pattern", TrafficPatternName(w.pattern));
+  h.Field("workload.load", w.load);
+  h.Field("workload.window", w.window);
+  h.Field("workload.incast_fanin", w.incast_fanin);
+  h.Field("workload.incast_victim", w.incast_victim);
+  h.Field("workload.incast_fraction", w.incast_fraction);
+  h.Field("workload.seed", w.seed);
+  h.Field("workload.max_flows", static_cast<uint64_t>(w.max_flows));
+}
+
+uint64_t ExperimentConfigHash(const ExperimentConfig& config) {
+  ConfigHasher h;
+  AppendFields(h, config);
+  return h.hash();
+}
+
+uint64_t FctPointHash(const ExperimentConfig& config, const WorkloadSpec& workload,
+                      std::string_view cdf_name, TimePs deadline) {
+  ConfigHasher h;
+  AppendFields(h, config);
+  AppendFields(h, workload);
+  h.Field("workload.cdf", cdf_name);
+  h.Field("harness.deadline", deadline);
+  return h.hash();
+}
+
+std::vector<ConfigHashGoldenCase> ConfigHashGoldenCases() {
+  std::vector<ConfigHashGoldenCase> cases;
+
+  {
+    ExperimentConfig c;
+    cases.push_back({"default", ExperimentConfigHash(c)});
+  }
+  {
+    ExperimentConfig c;
+    c.seed = 7;
+    c.fabric = FabricKind::kFatTree;
+    c.fat_tree_k = 16;
+    c.traffic_model = TrafficModelKind::kFluid;
+    c.background_load = 0.4;
+    cases.push_back({"fattree16-fluid", ExperimentConfigHash(c)});
+  }
+  {
+    ExperimentConfig c;
+    c.scheme = Scheme::kThemis;
+    c.themis_spray_mode = SprayMode::kSportRewrite;
+    c.pfc_enabled = false;
+    c.themis_pause_grace = false;
+    cases.push_back({"themis-s-nopfc", ExperimentConfigHash(c)});
+  }
+  {
+    ExperimentConfig c;
+    c.themis_flow_capacity = 1600;
+    c.themis_aging = EvictionPolicy::kIdleTimeout;
+    c.themis_idle_timeout = 50 * kMicrosecond;
+    cases.push_back({"bounded-flow-table", ExperimentConfigHash(c)});
+  }
+  {
+    ExperimentConfig c;
+    ScenarioPreset("tor-uplink-flap", &c.scenario);
+    cases.push_back({"scenario-tor-uplink-flap", ExperimentConfigHash(c)});
+  }
+  {
+    // A full FCT grid point: fabric + workload + distribution + deadline.
+    ExperimentConfig c;
+    c.seed = 42;
+    c.num_tors = 2;
+    c.num_spines = 2;
+    c.hosts_per_tor = 4;
+    c.scheme = Scheme::kRandomSpray;
+    WorkloadSpec w;
+    w.pattern = TrafficPattern::kIncastMix;
+    w.load = 0.3;
+    w.window = 200 * kMicrosecond;
+    w.incast_fanin = 4;
+    w.seed = 42;
+    w.max_flows = 48;
+    cases.push_back(
+        {"fct-point", FctPointHash(c, w, "alistorage", w.window * 40)});
+  }
+  return cases;
+}
+
+}  // namespace themis

@@ -1,0 +1,95 @@
+// Stable config hashing for the experiment service.
+//
+// Every sweep grid point is a pure function of its inputs — an
+// ExperimentConfig, usually a WorkloadSpec, and a handful of harness knobs.
+// The shard manifest and the per-shard completion journals key each point on
+// a 64-bit hash of those inputs, so a resumed shard recomputes exactly the
+// points whose inputs changed and nothing else, and a merge can verify that
+// a journal record was produced by the grid it is being merged into.
+//
+// The hash is FNV-1a over a *canonical text serialization*: one
+// `name=value\n` line per field, in declaration order, with integers in
+// decimal, doubles via %.17g (round-trip exact), bools as 0/1, and enums by
+// their stable name. It deliberately does not hash raw struct bytes: padding
+// and field reordering would silently change hashes. The flip side is that a
+// field added to ExperimentConfig must also be added to AppendFields here —
+// two tripwires make that loud:
+//
+//   * a sizeof static_assert in config_hash.cc fails the build on x86-64
+//     Linux the moment the struct layout changes;
+//   * the config-hash golden table in tests/experiment_service_test.cc
+//     (regenerated via the regen-goldens target, like the trace goldens)
+//     fails when the serialization of an existing field drifts.
+
+#ifndef THEMIS_SRC_EXPERIMENT_SERVICE_CONFIG_HASH_H_
+#define THEMIS_SRC_EXPERIMENT_SERVICE_CONFIG_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/workload/flow_generator.h"
+
+namespace themis {
+
+// Incremental FNV-1a over canonical `name=value\n` lines. Field order
+// matters (it follows struct declaration order), and names must not contain
+// '=' or '\n'. The canonical text is kept alongside the hash so tests and
+// tooling can diff *what* changed, not just that something did.
+class ConfigHasher {
+ public:
+  void Field(std::string_view name, uint64_t value);
+  void Field(std::string_view name, int64_t value);
+  void Field(std::string_view name, int value) { Field(name, static_cast<int64_t>(value)); }
+  void Field(std::string_view name, bool value);
+  void Field(std::string_view name, double value);
+  void Field(std::string_view name, std::string_view value);
+  // Literal values would otherwise prefer the bool overload.
+  void Field(std::string_view name, const char* value) {
+    Field(name, std::string_view(value));
+  }
+
+  uint64_t hash() const { return hash_; }
+  const std::string& canonical_text() const { return text_; }
+
+ private:
+  void AppendLine(std::string_view name, std::string_view value);
+
+  static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+  uint64_t hash_ = kFnvOffset;
+  std::string text_;
+};
+
+// Serializes every field of `config` (including nested EcnProfile, scenario
+// script, and flow-table geometry) into `h`, in declaration order.
+void AppendFields(ConfigHasher& h, const ExperimentConfig& config);
+
+// Serializes a workload spec (the other half of an FCT grid point).
+void AppendFields(ConfigHasher& h, const WorkloadSpec& workload);
+
+// Hash of a bare ExperimentConfig (collective-style grid points).
+uint64_t ExperimentConfigHash(const ExperimentConfig& config);
+
+// Hash of an FCT-style grid point: fabric config + workload + the flow-size
+// distribution (by name — bundled CDFs are versioned data) + the harness
+// deadline.
+uint64_t FctPointHash(const ExperimentConfig& config, const WorkloadSpec& workload,
+                      std::string_view cdf_name, TimePs deadline);
+
+// The representative set pinned by the config-hash golden table. Labels are
+// stable identifiers; the configs exercise every serialization branch
+// (fat-tree, fluid background, bounded flow table, scenario events, workload
+// coupling).
+struct ConfigHashGoldenCase {
+  std::string label;
+  uint64_t hash;
+};
+std::vector<ConfigHashGoldenCase> ConfigHashGoldenCases();
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_EXPERIMENT_SERVICE_CONFIG_HASH_H_

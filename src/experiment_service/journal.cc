@@ -1,0 +1,99 @@
+#include "src/experiment_service/journal.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace themis {
+
+std::vector<JournalRecord> LoadJournal(const std::string& path) {
+  std::vector<JournalRecord> records;
+  std::ifstream in(path);
+  if (!in) {
+    return records;
+  }
+  JournalRecord open;
+  size_t want_rows = 0;
+  bool in_record = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "begin") {
+      // A new begin abandons any half-written record before it.
+      open = JournalRecord{};
+      in_record = false;
+      std::string hash_hex;
+      size_t nrows = 0;
+      if (!(fields >> open.index >> hash_hex >> nrows)) {
+        continue;
+      }
+      char* end = nullptr;
+      open.config_hash = std::strtoull(hash_hex.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0' || hash_hex.empty()) {
+        continue;
+      }
+      want_rows = nrows;
+      in_record = true;
+    } else if (keyword == "row" && in_record) {
+      // The payload is everything after "row "; an exact getline keeps
+      // leading spaces in the CSV cell intact.
+      const size_t at = line.find(' ');
+      open.rows.push_back(at == std::string::npos ? std::string() : line.substr(at + 1));
+      if (open.rows.size() > want_rows) {
+        in_record = false;  // over-long record: drop it
+      }
+    } else if (keyword == "end" && in_record) {
+      uint32_t index = 0;
+      if ((fields >> index) && index == open.index && open.rows.size() == want_rows) {
+        records.push_back(std::move(open));
+      }
+      open = JournalRecord{};
+      in_record = false;
+    } else {
+      in_record = false;
+    }
+  }
+  return records;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+bool JournalWriter::Open(const std::string& path, bool append, std::string* error) {
+  Close();
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open journal " + path + " for writing";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool JournalWriter::Append(const JournalRecord& record) {
+  if (file_ == nullptr) {
+    return false;
+  }
+  std::fprintf(file_, "begin %" PRIu32 " %016" PRIX64 " %zu\n", record.index,
+               record.config_hash, record.rows.size());
+  for (const std::string& row : record.rows) {
+    std::fprintf(file_, "row %s\n", row.c_str());
+  }
+  std::fprintf(file_, "end %" PRIu32 "\n", record.index);
+  return std::fflush(file_) == 0;
+}
+
+void JournalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace themis

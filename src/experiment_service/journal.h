@@ -1,0 +1,67 @@
+// Per-shard completion journal: the crash-safe result store behind resume.
+//
+// A shard appends one framed record per completed grid point, flushing after
+// every record, so a preempted shard loses at most the point it was writing.
+// Records carry the point's config hash: on resume the executor replays the
+// journal and skips exactly the points whose (index, hash) still match the
+// manifest — editing one grid point invalidates that point's record and
+// nothing else. The shard CSV is *regenerated* from the journal after every
+// run, so journal append order (completion order, nondeterministic under a
+// thread pool) never leaks into the merged output.
+//
+// Record framing (text, append-only):
+//
+//   begin <index> <config_hash_hex> <nrows>
+//   row <csv line>          (nrows times)
+//   end <index>
+//
+// The loader commits a record only when its `end` matches the open `begin`
+// and the declared row count; a truncated or interleaved tail is dropped,
+// which is precisely the record an interrupted shard must recompute. When
+// the same point appears more than once (a resumed shard re-ran an edited
+// point after the stale record), the last complete record wins.
+
+#ifndef THEMIS_SRC_EXPERIMENT_SERVICE_JOURNAL_H_
+#define THEMIS_SRC_EXPERIMENT_SERVICE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace themis {
+
+struct JournalRecord {
+  uint32_t index = 0;
+  uint64_t config_hash = 0;
+  std::vector<std::string> rows;  // CSV lines (possibly none: a failed case)
+};
+
+// Loads every complete record from `path`. A missing file yields an empty
+// vector (a fresh shard); malformed or truncated trailing data is ignored.
+std::vector<JournalRecord> LoadJournal(const std::string& path);
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // `append` keeps existing records (resume); otherwise the file is
+  // truncated. Returns false (with `error`) when the file cannot be opened.
+  bool Open(const std::string& path, bool append, std::string* error);
+
+  // Writes one framed record and flushes it to the OS.
+  bool Append(const JournalRecord& record);
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_EXPERIMENT_SERVICE_JOURNAL_H_

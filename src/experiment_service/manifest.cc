@@ -1,0 +1,117 @@
+#include "src/experiment_service/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace themis {
+
+std::vector<size_t> SweepManifest::ShardSlice(int shard_count, int shard_index) const {
+  std::vector<size_t> slice;
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    return slice;
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].index % static_cast<uint32_t>(shard_count) ==
+        static_cast<uint32_t>(shard_index)) {
+      slice.push_back(i);
+    }
+  }
+  return slice;
+}
+
+bool SweepManifest::Write(const std::string& path, std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  out << "# themis sweep manifest v1\n";
+  out << "grid " << grid << "\n";
+  out << "header " << csv_header << "\n";
+  out << "points " << points.size() << "\n";
+  char buf[64];
+  for (const ManifestPoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "point %" PRIu32 " %016" PRIX64 " %" PRIu64 " ", p.index,
+                  p.config_hash, p.seed);
+    out << buf << p.name << "\n";
+  }
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "write to " + path + " failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SweepManifest::Load(const std::string& path, SweepManifest* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open manifest " + path;
+    }
+    return false;
+  }
+  SweepManifest m;
+  size_t declared_points = 0;
+  bool saw_points = false;
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) {
+      *error = path + ": line " + std::to_string(lineno) + ": " + reason;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "grid") {
+      fields >> std::ws;
+      std::getline(fields, m.grid);
+    } else if (keyword == "header") {
+      fields >> std::ws;
+      std::getline(fields, m.csv_header);
+    } else if (keyword == "points") {
+      if (!(fields >> declared_points)) {
+        return fail("malformed points count");
+      }
+      saw_points = true;
+    } else if (keyword == "point") {
+      ManifestPoint p;
+      std::string hash_hex;
+      if (!(fields >> p.index >> hash_hex >> p.seed)) {
+        return fail("malformed point record");
+      }
+      char* end = nullptr;
+      p.config_hash = std::strtoull(hash_hex.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0' || hash_hex.empty()) {
+        return fail("malformed config hash '" + hash_hex + "'");
+      }
+      fields >> std::ws;
+      std::getline(fields, p.name);
+      m.points.push_back(std::move(p));
+    } else {
+      return fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_points || m.points.size() != declared_points) {
+    lineno = 0;
+    return fail("point count mismatch: declared " + std::to_string(declared_points) +
+                ", found " + std::to_string(m.points.size()));
+  }
+  *out = std::move(m);
+  return true;
+}
+
+}  // namespace themis

@@ -1,0 +1,55 @@
+// Shard manifest: the deterministic contract between a sweep grid and the
+// shards that execute it.
+//
+// A manifest enumerates every {point_index, config_hash, seed, name} of a
+// grid plus the CSV header its points produce. It is a pure function of the
+// grid definition — every shard of a campaign derives (or loads) the same
+// manifest, so point-to-shard assignment, journal keying, and merge
+// verification all agree without any coordination service. Assignment is
+// round-robin (`point.index % shard_count == shard_index`), which balances
+// heterogeneous grids (e.g. load 0.8 points cost more than load 0.3 points
+// that neighbour them) without affecting merge order: the merge always
+// reassembles rows in ascending point index, which is exactly the order a
+// single-process SweepRunner::Map run emits them in.
+//
+// Text format (one record per line, `#` comments ignored):
+//
+//   # themis sweep manifest v1
+//   grid fct-smoke
+//   header dist,load,scheme,...
+//   points 16
+//   point <index> <config_hash_hex> <seed> <name>
+
+#ifndef THEMIS_SRC_EXPERIMENT_SERVICE_MANIFEST_H_
+#define THEMIS_SRC_EXPERIMENT_SERVICE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace themis {
+
+struct ManifestPoint {
+  uint32_t index = 0;       // position in the grid (and in the merged CSV)
+  uint64_t config_hash = 0; // ConfigHasher digest of the point's inputs
+  uint64_t seed = 0;        // the point's RNG seed (informational)
+  std::string name;         // stable human label; may contain spaces
+};
+
+struct SweepManifest {
+  std::string grid;        // grid name, e.g. "fct-smoke"
+  std::string csv_header;  // comma-joined column headers
+  std::vector<ManifestPoint> points;
+
+  // The manifest-point positions assigned to `shard_index` of `shard_count`
+  // (round-robin on point index). shard_count < 1 or an out-of-range index
+  // yields an empty slice.
+  std::vector<size_t> ShardSlice(int shard_count, int shard_index) const;
+
+  bool Write(const std::string& path, std::string* error) const;
+  static bool Load(const std::string& path, SweepManifest* out, std::string* error);
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_EXPERIMENT_SERVICE_MANIFEST_H_

@@ -1,0 +1,90 @@
+#include "src/experiment_service/merge.h"
+
+#include <fstream>
+#include <map>
+
+#include "src/experiment_service/journal.h"
+#include "src/experiment_service/shard_executor.h"
+
+namespace themis {
+
+bool MergeJournals(const SweepManifest& manifest, const std::vector<std::string>& journal_paths,
+                   const std::string& out_csv, std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) {
+      *error = reason;
+    }
+    return false;
+  };
+
+  // Accept only records whose hash matches the manifest: stale records from
+  // an earlier grid version are invisible here, the same filter resume uses.
+  std::map<uint32_t, uint64_t> expected;
+  for (const ManifestPoint& point : manifest.points) {
+    if (!expected.emplace(point.index, point.config_hash).second) {
+      return fail("manifest has duplicate point index " + std::to_string(point.index));
+    }
+  }
+
+  std::map<uint32_t, std::vector<std::string>> rows_by_index;
+  for (const std::string& path : journal_paths) {
+    for (JournalRecord& record : LoadJournal(path)) {
+      auto want = expected.find(record.index);
+      if (want == expected.end() || want->second != record.config_hash) {
+        continue;  // not part of this grid (or a stale version of a point)
+      }
+      auto [it, inserted] = rows_by_index.emplace(record.index, std::move(record.rows));
+      if (!inserted && it->second != record.rows) {
+        return fail("conflicting rows for point " + std::to_string(record.index) + " in " +
+                    path + " — grid points must be pure functions of their inputs");
+      }
+    }
+  }
+
+  std::vector<uint32_t> missing;
+  for (const ManifestPoint& point : manifest.points) {
+    if (rows_by_index.count(point.index) == 0) {
+      missing.push_back(point.index);
+    }
+  }
+  if (!missing.empty()) {
+    std::string reason = "merge incomplete: ";
+    reason += std::to_string(missing.size());
+    reason += " of ";
+    reason += std::to_string(manifest.points.size());
+    reason += " points missing (first indices:";
+    for (size_t i = 0; i < missing.size() && i < 8; ++i) {
+      reason += ' ';
+      reason += std::to_string(missing[i]);
+    }
+    reason += ") — run the remaining shards or resume the preempted one";
+    return fail(reason);
+  }
+
+  std::ofstream out(out_csv);
+  if (!out) {
+    return fail("cannot open " + out_csv + " for writing");
+  }
+  out << manifest.csv_header << "\n";
+  for (const auto& [index, rows] : rows_by_index) {
+    for (const std::string& row : rows) {
+      out << row << "\n";
+    }
+  }
+  out.flush();
+  if (!out) {
+    return fail("write to " + out_csv + " failed");
+  }
+  return true;
+}
+
+bool MergeShardDir(const SweepManifest& manifest, const std::string& dir, int shard_count,
+                   const std::string& out_csv, std::string* error) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < shard_count; ++i) {
+    paths.push_back(ShardJournalPath(dir, manifest.grid, i, shard_count));
+  }
+  return MergeJournals(manifest, paths, out_csv, error);
+}
+
+}  // namespace themis

@@ -1,0 +1,47 @@
+// Merge: reassemble per-shard journals into the exact byte stream a
+// single-process run would have produced.
+//
+// The determinism argument is short because every hard part lives upstream:
+//   1. each grid point is a pure function of its inputs (repo-wide sweep
+//      contract, pinned by determinism_test), so a point's rows are the same
+//      bytes no matter which shard, thread, or machine ran it;
+//   2. journal records are keyed by manifest point index, so shard
+//      assignment and completion order never touch row *content*;
+//   3. the merge emits rows in ascending point index — exactly the order a
+//      single-process SweepRunner::Map sweep appends them to its CSV (Map
+//      collects results in input order regardless of worker interleaving).
+// Therefore merged bytes == single-process bytes for any shard count and
+// any completion order, which the shard-invariance tests and the CI gate
+// assert with a literal byte comparison.
+//
+// The merge is also a verifier: it fails loudly when a manifest point has no
+// matching journal record (a shard was never run, or was preempted and not
+// resumed), when a record's hash does not match the manifest (a shard ran a
+// different grid version), or when two journals disagree about a point's
+// rows (which would mean the purity contract is broken — worth a loud stop).
+
+#ifndef THEMIS_SRC_EXPERIMENT_SERVICE_MERGE_H_
+#define THEMIS_SRC_EXPERIMENT_SERVICE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/experiment_service/manifest.h"
+
+namespace themis {
+
+// Merges the journals at `journal_paths` against `manifest`, writing
+// `out_csv` (header + rows ascending by point index). Returns false (with
+// `error`) on a missing point, a row conflict, or I/O failure; `out_csv` is
+// not written on failure.
+bool MergeJournals(const SweepManifest& manifest, const std::vector<std::string>& journal_paths,
+                   const std::string& out_csv, std::string* error);
+
+// Convenience: merges the `shard_count` journals that ShardExecutor writes
+// under `dir` for `manifest.grid`.
+bool MergeShardDir(const SweepManifest& manifest, const std::string& dir, int shard_count,
+                   const std::string& out_csv, std::string* error);
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_EXPERIMENT_SERVICE_MERGE_H_

@@ -1,0 +1,93 @@
+// ShardExecutor: runs one shard's slice of a sweep manifest through the
+// SweepRunner thread pool, journaling each completed point and regenerating
+// the shard CSV.
+//
+// The executor is the single-machine building block of the scale-out
+// experiment service: N machines each run `ShardExecutor` with the same
+// manifest and a distinct shard index, then any one of them (or a laptop)
+// merges the journals with MergeJournals() into the exact byte stream a
+// single-process run would have produced. Determinism comes for free from
+// the repo-wide contract that every grid point is a pure function of its
+// inputs — the executor only has to keep *placement* (which rows land where)
+// out of the output, which it does by keying everything on the manifest
+// point index.
+//
+// Resume: with ShardOptions::resume, the journal is replayed first and only
+// points without a matching (index, config_hash) record execute. A point
+// whose run function throws gets no journal record — the error is reported
+// and every other point still runs, so a crashed or flaky point costs one
+// point's work on the next resume, not the shard's.
+
+#ifndef THEMIS_SRC_EXPERIMENT_SERVICE_SHARD_EXECUTOR_H_
+#define THEMIS_SRC_EXPERIMENT_SERVICE_SHARD_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/experiment_service/journal.h"
+#include "src/experiment_service/manifest.h"
+#include "src/telemetry/counters.h"
+
+namespace themis {
+
+struct ShardOptions {
+  int shard_count = 1;
+  int shard_index = 0;
+  bool resume = false;
+  std::string dir = ".";  // manifest / journal / shard-CSV directory
+  int threads = 0;        // SweepRunner resolution: 0 = env, then hardware
+};
+
+// Exposed through telemetry as sweep.points_done / sweep.points_skipped /
+// sweep.points_failed / sweep.shard_wall_ms.
+struct ShardStats {
+  uint64_t points_done = 0;     // executed this run and journaled
+  uint64_t points_skipped = 0;  // satisfied by a matching journal record
+  uint64_t points_failed = 0;   // run function threw; not journaled
+  uint64_t shard_wall_ms = 0;   // wall-clock of the last Run() call
+};
+
+class ShardExecutor {
+ public:
+  // `manifest` and `options` are copied; `options` is validated by Run().
+  ShardExecutor(SweepManifest manifest, ShardOptions options);
+
+  // Produces the rows of one grid point. Must be callable concurrently and
+  // be a pure function of the point (the repo's sweep contract). Returning
+  // an empty vector is valid (a case that yields no CSV row).
+  using PointFn = std::function<std::vector<std::string>(const ManifestPoint&)>;
+
+  // Runs every not-yet-journaled point of this shard's slice, appends
+  // journal records in completion order, then rewrites the shard CSV
+  // (header + rows in ascending point index). Returns false on option,
+  // I/O, or point errors; `error` gets the first failure. Already-journaled
+  // work is preserved either way.
+  bool Run(const PointFn& fn, std::string* error);
+
+  const ShardStats& stats() const { return stats_; }
+  const SweepManifest& manifest() const { return manifest_; }
+
+  std::string JournalPath() const;
+  std::string CsvPath() const;
+
+  // Registers sweep.* counters over this executor's stats (stable address:
+  // the executor must outlive the registry's readers).
+  void RegisterCounters(CounterRegistry* registry) const;
+
+ private:
+  SweepManifest manifest_;
+  ShardOptions options_;
+  ShardStats stats_;
+};
+
+// Derived artifact names, shared by the executor, the merge tool, and CI:
+//   <dir>/<grid>.shard<i>of<n>.journal / .csv
+std::string ShardJournalPath(const std::string& dir, const std::string& grid, int shard_index,
+                             int shard_count);
+std::string ShardCsvPath(const std::string& dir, const std::string& grid, int shard_index,
+                         int shard_count);
+
+}  // namespace themis
+
+#endif  // THEMIS_SRC_EXPERIMENT_SERVICE_SHARD_EXECUTOR_H_

@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 #include "src/core/experiment.h"
+#include "src/core/sweep_runner.h"
 
 namespace themis {
 namespace {
@@ -122,6 +127,81 @@ TEST(ExperimentTelemetryTest, BalanceIndexEdgeCases) {
   // No traffic at all: defined as 1.0.
   Experiment exp(TinyConfig(Scheme::kEcmp));
   EXPECT_DOUBLE_EQ(exp.SprayBalanceIndex(), 1.0);
+}
+
+// --- SweepRunner contract (sweep_runner.h) ----------------------------------
+//
+// The experiment service's shard executor depends on these edge cases, in
+// both the serial (threads == 1) and pooled paths.
+
+TEST(SweepRunnerTest, ZeroPointGridIsANoOp) {
+  for (int threads : {1, 4}) {
+    SweepRunner runner(threads);
+    int calls = 0;
+    runner.RunIndexed(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    EXPECT_TRUE(runner.Map(std::vector<int>{}, [](int v) { return v; }).empty());
+  }
+}
+
+TEST(SweepRunnerTest, SinglePointGridRunsExactlyOnce) {
+  for (int threads : {1, 4}) {
+    SweepRunner runner(threads);
+    std::atomic<int> calls{0};
+    runner.RunIndexed(1, [&](size_t i) {
+      EXPECT_EQ(i, 0u);
+      ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+  }
+}
+
+TEST(SweepRunnerTest, MoreThreadsThanPointsRunsEachPointOnce) {
+  SweepRunner runner(16);
+  constexpr size_t kPoints = 5;
+  std::vector<std::atomic<int>> hits(kPoints);
+  runner.RunIndexed(kPoints, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "point " << i;
+  }
+}
+
+TEST(SweepRunnerTest, ThrowingPointDoesNotStarveTheOthers) {
+  // One poisoned grid point must not cost the rest of the sweep: every other
+  // index still runs, and the exception surfaces after the drain. Identical
+  // behaviour serial and pooled — this is what lets a shard journal its good
+  // points when one case blows up.
+  for (int threads : {1, 4}) {
+    SweepRunner runner(threads);
+    constexpr size_t kPoints = 7;
+    std::vector<std::atomic<int>> hits(kPoints);
+    EXPECT_THROW(
+        runner.RunIndexed(kPoints,
+                          [&](size_t i) {
+                            ++hits[i];
+                            if (i == 2) {
+                              throw std::runtime_error("poisoned point");
+                            }
+                          }),
+        std::runtime_error)
+        << "threads=" << threads;
+    for (size_t i = 0; i < kPoints; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " point " << i;
+    }
+  }
+}
+
+TEST(SweepRunnerTest, MapReturnsResultsInInputOrder) {
+  SweepRunner runner(8);
+  std::vector<int> items(64);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int>(i);
+  }
+  const std::vector<int> doubled = runner.Map(items, [](int v) { return v * 2; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], static_cast<int>(i) * 2);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/core/trace_digest.h"
+#include "src/experiment_service/config_hash.h"
 
 namespace themis {
 namespace {
@@ -64,6 +65,15 @@ int Main() {
   // markers) pins the chaos engine's full pipeline on the same fabric.
   std::printf("constexpr uint64_t kScenarioCampaignGolden = 0x%016llXULL;\n",
               static_cast<unsigned long long>(ScenarioCampaignHash()));
+  // Config-hash goldens (experiment_service_test.cc, CONFIG-HASH-GOLDEN
+  // markers): pin the canonical serialization that keys sweep manifests,
+  // shard journals, and resume.
+  std::printf("const ConfigHashGolden kConfigHashGoldens[] = {\n");
+  for (const ConfigHashGoldenCase& c : ConfigHashGoldenCases()) {
+    std::printf("    {\"%s\", 0x%016llXULL},\n", c.label.c_str(),
+                static_cast<unsigned long long>(c.hash));
+  }
+  std::printf("};\n");
   return 0;
 }
 

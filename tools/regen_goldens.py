@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Regenerate the determinism golden table in tests/determinism_test.cc.
+"""Regenerate the golden tables pinned by the test suite.
 
 Runs the golden_hashes binary (which prints one C++ initializer row per
 golden point for the *current* engine), splices its output between the
-GOLDEN-TABLE-BEGIN/END markers in the test file, and prints a unified diff
-of what changed.  With --check, the file is left untouched and the script
-exits non-zero if the table is stale.
+GOLDEN-TABLE-BEGIN/END and SCENARIO-GOLDEN markers in
+tests/determinism_test.cc and — when --expsvc-test-file is given — between
+the CONFIG-HASH-GOLDEN markers in tests/experiment_service_test.cc, then
+prints a unified diff of what changed.  With --check, the files are left
+untouched and the script exits non-zero if any table is stale.
 
 Usual invocation is via the cmake target, from the repo root:
 
@@ -27,6 +29,9 @@ END = "// GOLDEN-TABLE-END"
 SCN_BEGIN = "// SCENARIO-GOLDEN-BEGIN"
 SCN_END = "// SCENARIO-GOLDEN-END"
 SCN_LINE = "constexpr uint64_t kScenarioCampaignGolden"
+CFG_BEGIN = "// CONFIG-HASH-GOLDEN-BEGIN"
+CFG_END = "// CONFIG-HASH-GOLDEN-END"
+CFG_LINE = "const ConfigHashGolden kConfigHashGoldens"
 
 
 def splice_between(text: str, begin_marker: str, end_marker: str,
@@ -40,13 +45,39 @@ def splice_between(text: str, begin_marker: str, end_marker: str,
     return head + replacement + tail
 
 
-def splice(text: str, output: str) -> str:
-    # The tool prints the golden table followed by the scenario-campaign
-    # constant; split on the constant's declaration line.
+def split_tool_output(output: str) -> tuple[str, str, str]:
+    # The tool prints the determinism golden table, then the
+    # scenario-campaign constant, then the config-hash golden table; split on
+    # the declaration lines.
     scn_at = output.index(SCN_LINE)
-    rows, scn = output[:scn_at], output[scn_at:]
-    text = splice_between(text, BEGIN, END, rows)
-    return splice_between(text, SCN_BEGIN, SCN_END, scn)
+    cfg_at = output.index(CFG_LINE)
+    if cfg_at < scn_at:
+        raise SystemExit("golden_hashes output sections out of order")
+    return output[:scn_at], output[scn_at:cfg_at], output[cfg_at:]
+
+
+def regenerate(path: pathlib.Path, markers: list[tuple[str, str]],
+               sections: list[str], check: bool) -> bool:
+    """Splices sections into path; returns True when the file was stale."""
+    old = path.read_text()
+    for begin_marker, end_marker in markers:
+        for marker in (begin_marker, end_marker):
+            if marker not in old:
+                raise SystemExit(f"{path}: marker {marker} not found")
+    new = old
+    for (begin_marker, end_marker), section in zip(markers, sections):
+        new = splice_between(new, begin_marker, end_marker, section)
+    diff = list(difflib.unified_diff(old.splitlines(keepends=True),
+                                     new.splitlines(keepends=True),
+                                     fromfile=str(path),
+                                     tofile=f"{path} (regenerated)"))
+    if not diff:
+        return False
+    sys.stdout.writelines(diff)
+    if not check:
+        path.write_text(new)
+        print(f"\nupdated {path}")
+    return True
 
 
 def main() -> int:
@@ -55,15 +86,12 @@ def main() -> int:
                         help="path to the built golden_hashes binary")
     parser.add_argument("--test-file", required=True,
                         help="path to tests/determinism_test.cc")
+    parser.add_argument("--expsvc-test-file",
+                        help="path to tests/experiment_service_test.cc "
+                             "(config-hash golden table)")
     parser.add_argument("--check", action="store_true",
-                        help="diff only; exit 1 if the table is stale")
+                        help="diff only; exit 1 if a table is stale")
     args = parser.parse_args()
-
-    test_path = pathlib.Path(args.test_file)
-    old = test_path.read_text()
-    for marker in (BEGIN, END, SCN_BEGIN, SCN_END):
-        if marker not in old:
-            raise SystemExit(f"{test_path}: marker {marker} not found")
 
     output = subprocess.run([args.tool], check=True, capture_output=True,
                             text=True).stdout
@@ -71,23 +99,23 @@ def main() -> int:
         raise SystemExit(f"{args.tool} produced no output")
     if SCN_LINE not in output:
         raise SystemExit(f"{args.tool}: no scenario golden in output")
+    if CFG_LINE not in output:
+        raise SystemExit(f"{args.tool}: no config-hash goldens in output")
+    rows, scn, cfg = split_tool_output(output)
 
-    new = splice(old, output)
-    diff = list(difflib.unified_diff(old.splitlines(keepends=True),
-                                     new.splitlines(keepends=True),
-                                     fromfile=str(test_path),
-                                     tofile=f"{test_path} (regenerated)"))
-    if not diff:
-        print("golden table up to date")
+    stale = regenerate(pathlib.Path(args.test_file),
+                       [(BEGIN, END), (SCN_BEGIN, SCN_END)],
+                       [rows, scn], args.check)
+    if args.expsvc_test_file:
+        stale |= regenerate(pathlib.Path(args.expsvc_test_file),
+                            [(CFG_BEGIN, CFG_END)], [cfg], args.check)
+
+    if not stale:
+        print("golden tables up to date")
         return 0
-
-    sys.stdout.writelines(diff)
     if args.check:
-        print("\ngolden table is STALE (run the regen-goldens target)")
+        print("\ngolden tables are STALE (run the regen-goldens target)")
         return 1
-
-    test_path.write_text(new)
-    print(f"\nupdated {test_path}")
     return 0
 
 
